@@ -1,0 +1,488 @@
+// Benchmarks regenerating the performance dimension of every experiment in
+// EXPERIMENTS.md (E1–E11, A1–A3). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark exercises the kernel whose cost the corresponding paper
+// claim governs; cmd/experiments produces the accuracy/communication tables
+// that complement these timings.
+package mcf0
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/counting"
+	"mcf0/internal/delphic"
+	"mcf0/internal/distributed"
+	"mcf0/internal/exact"
+	"mcf0/internal/formula"
+	"mcf0/internal/gf2"
+	"mcf0/internal/hash"
+	"mcf0/internal/oracle"
+	"mcf0/internal/setstream"
+	"mcf0/internal/stats"
+	"mcf0/internal/streaming"
+)
+
+func benchOpts(seed uint64) counting.Options {
+	return counting.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, RNG: stats.NewRNG(seed)}
+}
+
+// BenchmarkE1ApproxMC times Algorithm 5 (Bucketing → ApproxMC) on DNF and
+// CNF backends (Theorem 2).
+func BenchmarkE1ApproxMC(b *testing.B) {
+	rng := stats.NewRNG(1)
+	d := formula.RandomDNF(16, 8, 5, rng)
+	cnf, _ := formula.PlantedKCNF(14, 21, 3, rng)
+	b.Run("DNF/n=16/k=8", func(b *testing.B) {
+		src := oracle.NewDNFSource(d)
+		for i := 0; i < b.N; i++ {
+			counting.ApproxMC(src, benchOpts(uint64(i)))
+		}
+	})
+	b.Run("CNF/n=14", func(b *testing.B) {
+		src := oracle.NewCNFSource(cnf)
+		for i := 0; i < b.N; i++ {
+			counting.ApproxMC(src, benchOpts(uint64(i)))
+		}
+	})
+}
+
+// BenchmarkE2MinDNF times Algorithm 6 (Minimum), the DNF FPRAS, across the
+// term-count scaling of Theorem 3.
+func BenchmarkE2MinDNF(b *testing.B) {
+	rng := stats.NewRNG(2)
+	for _, k := range []int{4, 16, 64} {
+		d := formula.RandomDNF(32, k, 8, rng)
+		b.Run(fmt.Sprintf("n=32/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				counting.ApproxModelCountMinDNF(d, benchOpts(uint64(i)))
+			}
+		})
+	}
+}
+
+// BenchmarkE2FindMin isolates the Proposition 2 kernel.
+func BenchmarkE2FindMin(b *testing.B) {
+	rng := stats.NewRNG(3)
+	for _, n := range []int{16, 32, 64} {
+		d := formula.RandomDNF(n, 16, n/4, rng)
+		h := hash.NewToeplitz(n, 3*n).Draw(rng.Uint64).(*hash.Linear)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				counting.FindMinDNF(d, h, 24)
+			}
+		})
+	}
+}
+
+// BenchmarkE3FindMaxRange times the Proposition 3 binary search through the
+// SAT oracle (linear hash specialisation).
+func BenchmarkE3FindMaxRange(b *testing.B) {
+	rng := stats.NewRNG(4)
+	for _, n := range []int{16, 32, 64} {
+		cnf, _ := formula.PlantedKCNF(n, n, 3, rng)
+		fam := hash.NewXor(n, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := oracle.NewCNFSource(cnf)
+			for i := 0; i < b.N; i++ {
+				h := fam.Draw(rng.Uint64).(*hash.Linear)
+				counting.FindMaxRangeLinear(src, h)
+			}
+		})
+	}
+}
+
+// BenchmarkE4F0Sketches times per-item processing of the three sketches
+// (Lemmas 1–3).
+func BenchmarkE4F0Sketches(b *testing.B) {
+	n := 32
+	rng := stats.NewRNG(5)
+	elems := make([]bitvec.BitVec, 4096)
+	for i := range elems {
+		elems[i] = bitvec.Random(n, rng.Uint64)
+	}
+	sOpts := streaming.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, RNG: stats.NewRNG(9)}
+	b.Run("bucketing", func(b *testing.B) {
+		e := streaming.NewBucketing(n, sOpts)
+		for i := 0; i < b.N; i++ {
+			e.Process(elems[i%len(elems)])
+		}
+	})
+	b.Run("minimum", func(b *testing.B) {
+		e := streaming.NewMinimum(n, sOpts)
+		for i := 0; i < b.N; i++ {
+			e.Process(elems[i%len(elems)])
+		}
+	})
+	b.Run("estimation", func(b *testing.B) {
+		eOpts := sOpts
+		eOpts.Iterations = 3
+		eOpts.Thresh = 8
+		e := streaming.NewEstimation(n, eOpts)
+		for i := 0; i < b.N; i++ {
+			e.Process(elems[i%len(elems)])
+		}
+	})
+	b.Run("exact-baseline", func(b *testing.B) {
+		e := streaming.NewExactDistinct(n)
+		for i := 0; i < b.N; i++ {
+			e.Process(elems[i%len(elems)])
+		}
+	})
+}
+
+// BenchmarkE5Distributed times the three Section 4 protocols and reports
+// communication bits per operation.
+func BenchmarkE5Distributed(b *testing.B) {
+	rng := stats.NewRNG(6)
+	d := formula.RandomDNF(16, 16, 6, rng)
+	dOpts := distributed.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, RNG: stats.NewRNG(11)}
+	for _, k := range []int{2, 8} {
+		parts := distributed.Split(d, k)
+		b.Run(fmt.Sprintf("bucketing/k=%d", k), func(b *testing.B) {
+			var bits int64
+			for i := 0; i < b.N; i++ {
+				bits = distributed.Bucketing(parts, dOpts).Comm.Total()
+			}
+			b.ReportMetric(float64(bits), "comm-bits")
+		})
+		b.Run(fmt.Sprintf("minimum/k=%d", k), func(b *testing.B) {
+			var bits int64
+			for i := 0; i < b.N; i++ {
+				bits = distributed.Minimum(parts, dOpts).Comm.Total()
+			}
+			b.ReportMetric(float64(bits), "comm-bits")
+		})
+	}
+}
+
+// BenchmarkE6DNFStream compares per-item cost of the Theorem 5 sketch with
+// naive element expansion across set sizes — the crossover experiment.
+func BenchmarkE6DNFStream(b *testing.B) {
+	n := 24
+	rng := stats.NewRNG(7)
+	ssOpts := setstream.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, RNG: stats.NewRNG(13)}
+	for _, w := range []int{16, 12, 8} { // set size 2^(n-w)
+		d := formula.RandomDNF(n, 1, w, rng)
+		b.Run(fmt.Sprintf("sketch/setsize=2^%d", n-w), func(b *testing.B) {
+			ds := setstream.NewDNFStream(n, ssOpts)
+			for i := 0; i < b.N; i++ {
+				ds.ProcessDNF(d)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/setsize=2^%d", n-w), func(b *testing.B) {
+			mOpts := streaming.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, RNG: stats.NewRNG(13)}
+			m := streaming.NewMinimum(n, mOpts)
+			for i := 0; i < b.N; i++ {
+				src := oracle.NewDNFSource(d)
+				src.Enumerate(nil, -1, func(x bitvec.BitVec) bool {
+					m.Process(x)
+					return true
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkE7Ranges times per-item processing of d-dimensional range items
+// (Theorem 6).
+func BenchmarkE7Ranges(b *testing.B) {
+	rng := stats.NewRNG(8)
+	ssOpts := setstream.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, RNG: stats.NewRNG(15)}
+	for _, tc := range []struct{ d, bits int }{{1, 16}, {2, 12}, {3, 8}} {
+		widths := make([]int, tc.d)
+		dims := make([]formula.Range, tc.d)
+		for i := range widths {
+			widths[i] = tc.bits
+			maxV := uint64(1)<<uint(tc.bits) - 1
+			lo := rng.Uint64n(maxV / 2)
+			dims[i] = formula.Range{Lo: lo, Hi: lo + maxV/4, Bits: tc.bits}
+		}
+		mr := formula.MultiRange{Dims: dims}
+		b.Run(fmt.Sprintf("d=%d/bits=%d", tc.d, tc.bits), func(b *testing.B) {
+			rs := setstream.NewRangeStream(widths, ssOpts)
+			for i := 0; i < b.N; i++ {
+				if err := rs.ProcessRange(mr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Affine times AffineFindMin and per-item affine processing
+// (Theorem 7: O(n⁴·t) per item).
+func BenchmarkE8Affine(b *testing.B) {
+	rng := stats.NewRNG(9)
+	for _, n := range []int{16, 32, 64} {
+		a := gf2.RandomMatrix(n/2, n, rng.Uint64)
+		bb := bitvec.Random(n/2, rng.Uint64)
+		h := hash.NewToeplitz(n, 3*n).Draw(rng.Uint64).(*hash.Linear)
+		b.Run(fmt.Sprintf("findmin/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				setstream.AffineFindMin(a, bb, h, 24)
+			}
+		})
+	}
+}
+
+// BenchmarkE9Blowup times the Lemma 4 constructions themselves: DNF
+// materialisation cost grows as (2n)^d while CNF stays linear.
+func BenchmarkE9Blowup(b *testing.B) {
+	for _, tc := range []struct{ n, d int }{{8, 1}, {8, 2}, {8, 3}} {
+		dims := make([]formula.Range, tc.d)
+		for i := range dims {
+			dims[i] = formula.Range{Lo: 1, Hi: uint64(1)<<uint(tc.n) - 1, Bits: tc.n}
+		}
+		mr := formula.MultiRange{Dims: dims}
+		b.Run(fmt.Sprintf("DNF/n=%d/d=%d", tc.n, tc.d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := formula.MultiRangeDNF(mr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("CNF/n=%d/d=%d", tc.n, tc.d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := formula.MultiRangeCNF(mr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10Weighted times the weighted-#DNF-to-range-stream reduction.
+func BenchmarkE10Weighted(b *testing.B) {
+	rng := stats.NewRNG(10)
+	n := 6
+	d := formula.RandomDNF(n, 4, 3, rng)
+	w := exact.WeightFunc{Num: make([]uint64, n), Bits: make([]int, n)}
+	for i := 0; i < n; i++ {
+		w.Bits[i] = 3
+		w.Num[i] = 1 + rng.Uint64n(6)
+	}
+	ssOpts := setstream.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, RNG: stats.NewRNG(17)}
+	b.Run("rangestream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			setstream.WeightedCount(setstream.WeightedDNF{D: d, W: w}, ssOpts)
+		}
+	})
+	b.Run("exact-IE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exact.WeightedCountDNF(d, w)
+		}
+	})
+}
+
+// BenchmarkE11Progressions times arithmetic-progression items
+// (Corollary 1).
+func BenchmarkE11Progressions(b *testing.B) {
+	ssOpts := setstream.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, RNG: stats.NewRNG(19)}
+	ps := setstream.NewProgressionStream([]int{20}, ssOpts)
+	item := []formula.Progression{{A: 5, B: 1 << 19, LogStep: 3, Bits: 20}}
+	for i := 0; i < b.N; i++ {
+		if err := ps.ProcessProgression(item); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14Delphic compares per-item cost of the hashing route vs the
+// APS/Delphic sampling route on range items (Remark 2).
+func BenchmarkE14Delphic(b *testing.B) {
+	rng := stats.NewRNG(21)
+	for _, tc := range []struct{ d, bits int }{{1, 12}, {2, 8}, {3, 6}} {
+		dims := make([]formula.Range, tc.d)
+		widths := make([]int, tc.d)
+		for i := range dims {
+			maxV := uint64(1)<<uint(tc.bits) - 1
+			lo := rng.Uint64n(maxV / 2)
+			dims[i] = formula.Range{Lo: lo, Hi: lo + maxV/4, Bits: tc.bits}
+			widths[i] = tc.bits
+		}
+		mr := formula.MultiRange{Dims: dims}
+		b.Run(fmt.Sprintf("hash/d=%d", tc.d), func(b *testing.B) {
+			ssOpts := setstream.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, RNG: stats.NewRNG(23)}
+			rs := setstream.NewRangeStream(widths, ssOpts)
+			for i := 0; i < b.N; i++ {
+				if err := rs.ProcessRange(mr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("aps/d=%d", tc.d), func(b *testing.B) {
+			est := delphic.NewEstimator(tc.d*tc.bits, 0.8, 0.2, 64, stats.NewRNG(23))
+			s, ok := delphic.NewMultiRangeSet(mr)
+			if !ok {
+				b.Fatal("bad range")
+			}
+			for i := 0; i < b.N; i++ {
+				est.Process(s)
+			}
+		})
+	}
+}
+
+// BenchmarkA1HashFamily compares drawing and evaluating H_Toeplitz vs
+// H_xor vs the s-wise polynomial family.
+func BenchmarkA1HashFamily(b *testing.B) {
+	n := 64
+	rng := stats.NewRNG(11)
+	x := bitvec.Random(n, rng.Uint64)
+	fams := []hash.Family{hash.NewToeplitz(n, n), hash.NewXor(n, n), hash.NewPoly(n, 8)}
+	for _, fam := range fams {
+		b.Run("draw/"+fam.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fam.Draw(rng.Uint64)
+			}
+		})
+		h := fam.Draw(rng.Uint64)
+		b.Run("eval/"+fam.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.Eval(x)
+			}
+		})
+	}
+}
+
+// BenchmarkA2Search compares linear vs binary prefix search in oracle
+// calls and time (ApproxMC vs ApproxMC2).
+func BenchmarkA2Search(b *testing.B) {
+	rng := stats.NewRNG(12)
+	cnf := formula.RandomKCNF(20, 10, 3, rng)
+	for _, binary := range []bool{false, true} {
+		name := "linear"
+		if binary {
+			name = "binary"
+		}
+		b.Run(name, func(b *testing.B) {
+			src := oracle.NewCNFSource(cnf)
+			var queries int64
+			for i := 0; i < b.N; i++ {
+				o := benchOpts(uint64(i))
+				o.BinarySearch = binary
+				queries = counting.ApproxMC(src, o).OracleQueries
+			}
+			b.ReportMetric(float64(queries), "oracle-calls")
+		})
+	}
+}
+
+// BenchmarkA3Shootout is the §3.5 DNF FPRAS comparison.
+func BenchmarkA3Shootout(b *testing.B) {
+	rng := stats.NewRNG(13)
+	d := formula.RandomDNF(24, 16, 8, rng)
+	b.Run("bucketing", func(b *testing.B) {
+		src := oracle.NewDNFSource(d)
+		for i := 0; i < b.N; i++ {
+			counting.ApproxMC(src, benchOpts(uint64(i)))
+		}
+	})
+	b.Run("minimum", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			counting.ApproxModelCountMinDNF(d, benchOpts(uint64(i)))
+		}
+	})
+	b.Run("karpluby", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			counting.KarpLuby(d, benchOpts(uint64(i)))
+		}
+	})
+}
+
+// BenchmarkSATSolver times the CDCL substrate on planted CNF and CNF-XOR
+// instances — the cost model behind every oracle call.
+func BenchmarkSATSolver(b *testing.B) {
+	rng := stats.NewRNG(14)
+	for _, n := range []int{50, 100} {
+		cnf, _ := formula.PlantedKCNF(n, 4*n, 3, rng)
+		b.Run(fmt.Sprintf("planted3sat/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := oracle.NewCNFSource(cnf)
+				src.Enumerate(nil, 1, func(bitvec.BitVec) bool { return true })
+			}
+		})
+		b.Run(fmt.Sprintf("cnfxor/n=%d", n), func(b *testing.B) {
+			cons := gf2.NewSystem(n)
+			consRng := stats.NewRNG(15)
+			for j := 0; j < n/4; j++ {
+				cons.Add(bitvec.Random(n, consRng.Uint64), consRng.Bool())
+			}
+			for i := 0; i < b.N; i++ {
+				src := oracle.NewCNFSource(cnf)
+				src.Enumerate(cons, 1, func(bitvec.BitVec) bool { return true })
+			}
+		})
+	}
+}
+
+// BenchmarkGF2 times the linear-algebra kernels underlying everything.
+func BenchmarkGF2(b *testing.B) {
+	rng := stats.NewRNG(16)
+	for _, n := range []int{64, 256} {
+		m := gf2.RandomMatrix(n, n, rng.Uint64)
+		x := bitvec.Random(n, rng.Uint64)
+		b.Run(fmt.Sprintf("mulvec/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.MulVec(x)
+			}
+		})
+		b.Run(fmt.Sprintf("solve/n=%d", n), func(b *testing.B) {
+			rhs := bitvec.Random(n, rng.Uint64)
+			for i := 0; i < b.N; i++ {
+				sys := gf2.NewSystem(n)
+				for r := 0; r < n; r++ {
+					sys.Add(m.Row(r), rhs.Get(r))
+				}
+				sys.Solve()
+			}
+		})
+	}
+}
+
+// BenchmarkGF2PolyMul times GF(2^64) multiplication (the s-wise family's
+// inner loop).
+func BenchmarkGF2PolyMul(b *testing.B) {
+	fam := hash.NewPoly(64, 4)
+	rng := stats.NewRNG(17)
+	h := fam.Draw(rng.Uint64)
+	x := bitvec.Random(64, rng.Uint64)
+	for i := 0; i < b.N; i++ {
+		h.Eval(x)
+	}
+}
+
+var sinkFloat float64
+
+// BenchmarkEndToEnd runs the full public-API paths once per iteration.
+func BenchmarkEndToEnd(b *testing.B) {
+	terms := [][]int{{1, 2}, {-3, 4, 5}, {6, -7}}
+	cfg := Config{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, Seed: 21}
+	b.Run("CountDNFTerms/minimum", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := CountDNFTerms(20, terms, AlgorithmMinimum, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkFloat = res.Estimate
+		}
+	})
+	b.Run("F0/minimum", func(b *testing.B) {
+		f, err := NewF0(32, AlgorithmMinimum, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			f.Add(uint64(i) % 1000)
+		}
+		sinkFloat = f.Estimate()
+	})
+	if math.IsNaN(sinkFloat) {
+		b.Fatal("impossible")
+	}
+}

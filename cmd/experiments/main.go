@@ -1,0 +1,76 @@
+// Command experiments regenerates every experiment table in EXPERIMENTS.md
+// (E1–E11, A1–A3). The paper is a theory paper with no empirical tables of
+// its own; each experiment here operationalises one of its theorems or
+// claims — see DESIGN.md §4 for the mapping.
+//
+// Usage:
+//
+//	experiments [-run regexp] [-quick] [-seed n] [-trials n]
+//
+// -quick shrinks workloads for a fast smoke pass; default sizes complete
+// in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// experiment is one reproducible table.
+type experiment struct {
+	id    string
+	title string
+	run   func(c runConfig)
+}
+
+type runConfig struct {
+	quick  bool
+	seed   uint64
+	trials int
+}
+
+var registry []experiment
+
+func register(id, title string, run func(runConfig)) {
+	registry = append(registry, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	var (
+		pattern = flag.String("run", "", "regexp selecting experiment ids (default: all)")
+		quick   = flag.Bool("quick", false, "smaller workloads for a fast pass")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		trials  = flag.Int("trials", 0, "override accuracy-trial count (0 = default)")
+	)
+	flag.Parse()
+
+	var re *regexp.Regexp
+	if *pattern != "" {
+		var err error
+		re, err = regexp.Compile(*pattern)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	sort.Slice(registry, func(i, j int) bool { return registry[i].id < registry[j].id })
+	cfg := runConfig{quick: *quick, seed: *seed, trials: *trials}
+	ran := 0
+	for _, e := range registry {
+		if re != nil && !re.MatchString(e.id) {
+			continue
+		}
+		fmt.Printf("==== %s — %s ====\n", e.id, e.title)
+		e.run(cfg)
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: no experiment matches", *pattern)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,202 @@
+// Command f0 estimates the number of distinct elements covered by a stream
+// of items read from standard input (or a file), one item per line:
+//
+//	e <value>                      a single element
+//	r <lo1> <hi1> [<lo2> <hi2>…]   a d-dimensional range (box)
+//	p <a> <b> <logstep>            a 1-d arithmetic progression, step 2^logstep
+//	d <lit…> 0 [<lit…> 0 …]        a DNF set in DIMACS literal convention
+//
+// Lines starting with '#' are comments. Item kinds may not be mixed except
+// that 'e' lines are accepted alongside 'd' lines (a singleton is a DNF).
+//
+//	-bits int       universe bits per dimension (default 32)
+//	-dims int       dimensions for range streams (default 1)
+//	-nvars int      variables for DNF streams (default = -bits)
+//	-alg string     element-stream sketch: bucketing|minimum|estimation
+//	-eps, -delta, -thresh, -iters, -seed   as in approxmc
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcf0"
+)
+
+func main() {
+	var (
+		bits  = flag.Int("bits", 32, "universe bits per dimension")
+		dims  = flag.Int("dims", 1, "dimensions for range streams")
+		nvars = flag.Int("nvars", 0, "variables for DNF streams (default -bits)")
+		alg   = flag.String("alg", "minimum", "element sketch: bucketing, minimum, estimation")
+		eps   = flag.Float64("eps", 0.8, "tolerance ε")
+		delta = flag.Float64("delta", 0.2, "failure probability δ")
+		th    = flag.Int("thresh", 0, "override Thresh")
+		it    = flag.Int("iters", 0, "override iterations")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *nvars == 0 {
+		*nvars = *bits
+	}
+	cfg := mcf0.Config{Epsilon: *eps, Delta: *delta, Thresh: *th, Iterations: *it, Seed: *seed}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var (
+		elemSketch  *mcf0.F0
+		rangeSketch *mcf0.RangeF0
+		progSketch  *mcf0.ProgressionF0
+		dnfSketch   *mcf0.DNFSetF0
+		items       int
+	)
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		kind, args := fields[0], fields[1:]
+		items++
+		switch kind {
+		case "e":
+			if dnfSketch != nil {
+				v := parseU(args[0])
+				dnfSketch.AddElement(v)
+				continue
+			}
+			if elemSketch == nil {
+				var err error
+				elemSketch, err = mcf0.NewF0(*bits, mcf0.Algorithm(*alg), cfg)
+				if err != nil {
+					fatal(err)
+				}
+			}
+			elemSketch.Add(parseU(args[0]))
+		case "r":
+			if rangeSketch == nil {
+				widths := make([]int, *dims)
+				for i := range widths {
+					widths[i] = *bits
+				}
+				var err error
+				rangeSketch, err = mcf0.NewRangeF0(widths, cfg)
+				if err != nil {
+					fatal(err)
+				}
+			}
+			if len(args) != 2**dims {
+				fatal(fmt.Errorf("range line needs %d bounds, got %d", 2**dims, len(args)))
+			}
+			lo := make([]uint64, *dims)
+			hi := make([]uint64, *dims)
+			for i := 0; i < *dims; i++ {
+				lo[i], hi[i] = parseU(args[2*i]), parseU(args[2*i+1])
+			}
+			if err := rangeSketch.AddRange(lo, hi); err != nil {
+				fatal(err)
+			}
+		case "p":
+			if progSketch == nil {
+				var err error
+				progSketch, err = mcf0.NewProgressionF0([]int{*bits}, cfg)
+				if err != nil {
+					fatal(err)
+				}
+			}
+			if len(args) != 3 {
+				fatal(fmt.Errorf("progression line needs a b logstep"))
+			}
+			ls, err := strconv.Atoi(args[2])
+			if err != nil {
+				fatal(err)
+			}
+			if err := progSketch.AddProgression(
+				[]uint64{parseU(args[0])}, []uint64{parseU(args[1])}, []int{ls}); err != nil {
+				fatal(err)
+			}
+		case "d":
+			if dnfSketch == nil {
+				dnfSketch = mcf0.NewDNFSetF0(*nvars, cfg)
+			}
+			terms, err := parseTerms(args)
+			if err != nil {
+				fatal(err)
+			}
+			if err := dnfSketch.AddDNF(terms); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown item kind %q", kind))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	var est float64
+	switch {
+	case elemSketch != nil:
+		est = elemSketch.Estimate()
+	case rangeSketch != nil:
+		est = rangeSketch.Estimate()
+	case progSketch != nil:
+		est = progSketch.Estimate()
+	case dnfSketch != nil:
+		est = dnfSketch.Estimate()
+	default:
+		fatal(fmt.Errorf("empty stream"))
+	}
+	fmt.Printf("items %d\n", items)
+	fmt.Printf("f0 %.6g\n", est)
+}
+
+func parseTerms(args []string) ([][]int, error) {
+	var terms [][]int
+	var cur []int
+	for _, a := range args {
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, err
+		}
+		if v == 0 {
+			terms = append(terms, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, v)
+	}
+	if len(cur) > 0 {
+		terms = append(terms, cur)
+	}
+	return terms, nil
+}
+
+func parseU(s string) uint64 {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "f0:", err)
+	os.Exit(1)
+}

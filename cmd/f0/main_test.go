@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestParseTerms(t *testing.T) {
+	terms, err := parseTerms([]string{"1", "-2", "0", "3", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 2 || len(terms[0]) != 2 || terms[0][1] != -2 || terms[1][0] != 3 {
+		t.Fatalf("parsed %v", terms)
+	}
+	// Trailing unterminated term is kept.
+	terms, err = parseTerms([]string{"4", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 1 || len(terms[0]) != 2 {
+		t.Fatalf("parsed %v", terms)
+	}
+	if _, err := parseTerms([]string{"x"}); err == nil {
+		t.Fatal("bad literal accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package mcf0_test
+
+import (
+	"fmt"
+
+	"mcf0"
+)
+
+// Counting the models of a small DNF with the Minimum-based FPRAS
+// (Algorithm 6 of the paper). Everything is deterministic per seed.
+func ExampleCountDNFTerms() {
+	terms := [][]int{{1, 2}, {-3, 4}} // (x1∧x2) ∨ (¬x3∧x4)
+	cfg := mcf0.Config{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 9, Seed: 1}
+	res, err := mcf0.CountDNFTerms(10, terms, mcf0.AlgorithmMinimum, cfg)
+	if err != nil {
+		panic(err)
+	}
+	exact, _ := mcf0.ExactCountDNFTerms(10, terms)
+	fmt.Printf("exact %d, in-band %v\n", exact, mcf0.WithinFactor(res.Estimate, float64(exact), 0.8))
+	// Output: exact 448, in-band true
+}
+
+// Streaming distinct-count estimation with the Bucketing sketch
+// (Gibbons–Tirthapura / Algorithm 1 of the paper).
+func ExampleNewF0() {
+	cfg := mcf0.Config{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 9, Seed: 2}
+	f0, err := mcf0.NewF0(24, mcf0.AlgorithmBucketing, cfg)
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		f0.Add(i % 300) // 300 distinct values
+	}
+	fmt.Printf("in-band %v\n", mcf0.WithinFactor(f0.Estimate(), 300, 0.8))
+	// Output: in-band true
+}
+
+// F0 over succinct range items (Theorem 6): unions much too large to
+// expand are absorbed one rectangle at a time.
+func ExampleNewRangeF0() {
+	cfg := mcf0.Config{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 9, Seed: 3}
+	rf, err := mcf0.NewRangeF0([]int{16}, cfg)
+	if err != nil {
+		panic(err)
+	}
+	rf.AddRange([]uint64{0}, []uint64{9999})
+	rf.AddRange([]uint64{5000}, []uint64{20000}) // overlap is deduplicated
+	fmt.Printf("in-band %v\n", mcf0.WithinFactor(rf.Estimate(), 20001, 0.8))
+	// Output: in-band true
+}
+
+// Near-uniform witness sampling (§6 of the paper).
+func ExampleSampleDNFTerms() {
+	cfg := mcf0.Config{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 9, Seed: 4}
+	samples, err := mcf0.SampleDNFTerms(6, [][]int{{1, 2, 3}}, 3, cfg)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range samples {
+		fmt.Println(s[:3]) // the first three bits are pinned by the term
+	}
+	// Output:
+	// 111
+	// 111
+	// 111
+}

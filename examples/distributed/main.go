@@ -1,0 +1,66 @@
+// Distributed: DNF counting across sites with metered communication —
+// Section 4's protocols end to end. A provenance-style DNF is partitioned
+// over k sites (think: shards of a distributed probabilistic database,
+// each holding part of a query's lineage); the coordinator estimates the
+// global model count while we watch exactly how many bits each protocol
+// moves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcf0"
+)
+
+func main() {
+	// A 16-variable lineage DNF with 18 derivations. (The Estimation
+	// protocol's per-site trailing-zero oracle is the exhaustive backend —
+	// no polynomial DNF implementation is known, per §3.4 — so the
+	// universe is kept at 2^16.)
+	n := 16
+	var terms [][]int
+	rng := uint64(0x9e3779b9)
+	next := func(k int) int { rng = rng*6364136223846793005 + 1; return int(rng>>33) % k }
+	for i := 0; i < 18; i++ {
+		var t []int
+		seen := map[int]bool{}
+		for len(t) < 6 {
+			v := 1 + next(n)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if next(2) == 0 {
+				v = -v
+			}
+			t = append(t, v)
+		}
+		terms = append(terms, t)
+	}
+
+	truth, err := mcf0.ExactCountDNFTerms(n, terms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lineage: %d terms over %d variables; exact count %d\n\n", len(terms), n, truth)
+
+	cfg := mcf0.Config{Epsilon: 0.8, Delta: 0.2, Thresh: 32, Iterations: 9, Seed: 11}
+	fmt.Printf("%-11s %6s %14s %16s %16s %10s\n",
+		"protocol", "sites", "estimate", "bits coord→site", "bits site→coord", "in-band?")
+	for _, sites := range []int{2, 4, 8} {
+		for _, alg := range []mcf0.Algorithm{mcf0.AlgorithmBucketing, mcf0.AlgorithmMinimum, mcf0.AlgorithmEstimation} {
+			res, err := mcf0.DistributedCountDNF(n, terms, sites, alg, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-11s %6d %14.0f %16d %16d %10v\n",
+				alg, sites, res.Estimate, res.CoordToSites, res.SitesToCoord,
+				mcf0.WithinFactor(res.Estimate, float64(truth), 0.8))
+		}
+		fmt.Println()
+	}
+	fmt.Println("shape to observe (paper §4): Minimum's site→coord bits ≈ k·t·Thresh·3n dominate;")
+	fmt.Println("Bucketing/Estimation send small fingerprints/levels — Õ(k(n+1/ε²)log(1/δ)) total;")
+	fmt.Println("every protocol's cost grows linearly in k (lower bound Ω(k/ε²)).")
+}

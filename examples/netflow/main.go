@@ -1,0 +1,70 @@
+// Netflow: range-efficient F0 over network telemetry — the classic
+// motivation for multidimensional-range streams (Section 5; the paper's
+// Theorem 6 workload). Firewall/flow logs often arrive as *rectangles*
+// (source-IP block × destination-port range); the question "how many
+// distinct (address, port) pairs were touched?" is F0 of a union of
+// 2-dimensional ranges, which a per-element sketch cannot afford to expand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcf0"
+)
+
+// A flow-aggregate record: a /k IPv4 block crossed with a port range.
+type record struct {
+	cidrBase uint64 // first address of the block
+	cidrSize uint64 // number of addresses
+	portLo   uint64
+	portHi   uint64
+}
+
+func main() {
+	// Synthetic telemetry: scanning activity across blocks and port bands.
+	var records []record
+	// A /16 swept over the low ports.
+	records = append(records, record{cidrBase: ip(10, 0, 0, 0), cidrSize: 1 << 16, portLo: 0, portHi: 1023})
+	// The same /16 swept again over a overlapping band (dedup matters).
+	records = append(records, record{cidrBase: ip(10, 0, 0, 0), cidrSize: 1 << 16, portLo: 512, portHi: 2047})
+	// A /24 hammered across all ports.
+	records = append(records, record{cidrBase: ip(192, 168, 1, 0), cidrSize: 1 << 8, portLo: 0, portHi: 65535})
+	// Scattered /30 probes on a single port.
+	for i := uint64(0); i < 20; i++ {
+		records = append(records, record{cidrBase: ip(172, 16, 0, 0) + i*4096, cidrSize: 4, portLo: 443, portHi: 443})
+	}
+
+	// Sketch over (32-bit address) × (16-bit port). Thresh/Iterations are
+	// dialled down from the paper constants to keep the demo snappy; the
+	// guarantees degrade gracefully (fewer medians, wider band).
+	sk, err := mcf0.NewRangeF0([]int{32, 16}, mcf0.Config{Epsilon: 0.5, Delta: 0.2, Thresh: 48, Iterations: 9, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range records {
+		err := sk.AddRange(
+			[]uint64{r.cidrBase, r.portLo},
+			[]uint64{r.cidrBase + r.cidrSize - 1, r.portHi})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Ground truth by interval arithmetic (the blocks are disjoint across
+	// the three groups, and the two /16 records overlap only in ports).
+	truth := uint64(1<<16)*2048 + // 10.0.0.0/16 × ports [0,2047] (union of the two bands)
+		uint64(1<<8)*65536 + // 192.168.1.0/24 × all ports
+		20*4*1 // twenty /30s × one port
+
+	est := sk.Estimate()
+	fmt.Printf("records processed:        %d\n", len(records))
+	fmt.Printf("true distinct (ip,port):  %d\n", truth)
+	fmt.Printf("sketch estimate:          %.0f\n", est)
+	fmt.Printf("relative error:           %+.2f%%\n", 100*(est/float64(truth)-1))
+	fmt.Printf("within (1+0.5)?           %v\n", mcf0.WithinFactor(est, float64(truth), 0.5))
+	fmt.Println("\nnote: expanding these rectangles would mean ~269M per-element updates;")
+	fmt.Println("the range sketch did one FindMin per record instead (Theorem 6).")
+}
+
+func ip(a, b, c, d uint64) uint64 { return a<<24 | b<<16 | c<<8 | d }

@@ -1,0 +1,64 @@
+// Quickstart: a 60-second tour of the mcf0 public API — approximate model
+// counting of a DNF with all three transformed streaming algorithms, a
+// plain F0 sketch, and an F0 sketch over range items.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcf0"
+)
+
+func main() {
+	// A small DNF over 14 variables in the DIMACS literal convention:
+	// (x1 ∧ x2) ∨ (¬x3 ∧ x4 ∧ x5) ∨ (x6 ∧ ¬x7).
+	const nVars = 14
+	terms := [][]int{{1, 2}, {-3, 4, 5}, {6, -7}}
+	truth, err := mcf0.ExactCountDNFTerms(nVars, terms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact model count: %d\n\n", truth)
+
+	// Thresh/Iterations default to the paper constants (96/ε², 35·log₂(1/δ));
+	// we dial them down so the demo finishes in seconds.
+	cfg := mcf0.Config{Epsilon: 0.8, Delta: 0.2, Thresh: 48, Iterations: 11, Seed: 42}
+	for _, alg := range []mcf0.Algorithm{
+		mcf0.AlgorithmBucketing,  // ApproxMC (Algorithm 5)
+		mcf0.AlgorithmMinimum,    // ApproxModelCountMin (Algorithm 6)
+		mcf0.AlgorithmEstimation, // ApproxModelCountEst (Algorithm 7)
+		mcf0.AlgorithmKarpLuby,   // classical Monte-Carlo baseline
+	} {
+		res, err := mcf0.CountDNFTerms(nVars, terms, alg, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s estimate = %10.1f  (within (1+ε)? %v)\n",
+			alg, res.Estimate, mcf0.WithinFactor(res.Estimate, float64(truth), 0.8))
+	}
+
+	// The reverse direction: a streaming F0 sketch over 32-bit elements.
+	f0, err := mcf0.NewF0(32, mcf0.AlgorithmMinimum, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := uint64(0); i < 50_000; i++ {
+		f0.Add(i % 5_000) // 5 000 distinct values, each seen 10 times
+	}
+	fmt.Printf("\nF0 sketch: estimate = %.0f (true 5000), sketch = %d words\n",
+		f0.Estimate(), f0.SketchWords())
+
+	// Structured set stream: each item covers a whole range of values.
+	rf, err := mcf0.NewRangeF0([]int{32}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range [][2]uint64{{100, 200_000}, {150_000, 400_000}, {1 << 30, 1<<30 + 10}} {
+		if err := rf.AddRange([]uint64{r[0]}, []uint64{r[1]}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// True union: [100, 400000] ∪ [2^30, 2^30+10] = 399901 + 11.
+	fmt.Printf("range-stream F0: estimate = %.0f (true %d)\n", rf.Estimate(), 399901+11)
+}

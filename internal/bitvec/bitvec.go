@@ -1,0 +1,306 @@
+// Package bitvec implements fixed-width bit vectors over GF(2).
+//
+// A BitVec represents an element of {0,1}^n. Bit 0 is the most significant
+// position: the paper's universe {0,1}^n orders strings lexicographically
+// left-to-right, so bit index i corresponds to position i+1 of the string.
+// Trailing zeros are counted from the least significant end (position n-1),
+// matching the TrailZero procedure of the paper.
+package bitvec
+
+import "math/bits"
+
+// BitVec is a fixed-width vector of bits.
+type BitVec struct {
+	n     int
+	words []uint64
+}
+
+const wordBits = 64
+
+// New returns an all-zero bit vector of width n bits.
+func New(n int) BitVec {
+	if n < 0 {
+		panic("bitvec: negative width")
+	}
+	return BitVec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromUint64 returns an n-bit vector whose string form is the n-bit binary
+// representation of v (most significant bit first). n must be at most 64.
+func FromUint64(v uint64, n int) BitVec {
+	if n > 64 {
+		panic("bitvec: FromUint64 width exceeds 64")
+	}
+	b := New(n)
+	for i := 0; i < n; i++ {
+		if v&(1<<(n-1-i)) != 0 {
+			b.Set(i, true)
+		}
+	}
+	return b
+}
+
+// Uint64 returns the integer whose n-bit binary representation equals the
+// vector (most significant bit first). Width must be at most 64.
+func (b BitVec) Uint64() uint64 {
+	if b.n > 64 {
+		panic("bitvec: Uint64 width exceeds 64")
+	}
+	var v uint64
+	for i := 0; i < b.n; i++ {
+		v <<= 1
+		if b.Get(i) {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// FromString parses a string of '0' and '1' runes.
+func FromString(s string) BitVec {
+	b := New(len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+		case '1':
+			b.Set(i, true)
+		default:
+			panic("bitvec: invalid character in bit string")
+		}
+	}
+	return b
+}
+
+// Len returns the width in bits.
+func (b BitVec) Len() int { return b.n }
+
+// Get reports whether bit i is set.
+func (b BitVec) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic("bitvec: index out of range")
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i to v.
+func (b BitVec) Set(i int, v bool) {
+	if i < 0 || i >= b.n {
+		panic("bitvec: index out of range")
+	}
+	if v {
+		b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	} else {
+		b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+// Flip toggles bit i.
+func (b BitVec) Flip(i int) { b.Set(i, !b.Get(i)) }
+
+// Clone returns an independent copy.
+func (b BitVec) Clone() BitVec {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return BitVec{n: b.n, words: w}
+}
+
+// XorInPlace sets b to b XOR o. Widths must match.
+func (b BitVec) XorInPlace(o BitVec) {
+	if b.n != o.n {
+		panic("bitvec: width mismatch")
+	}
+	for i := range b.words {
+		b.words[i] ^= o.words[i]
+	}
+}
+
+// Xor returns b XOR o as a fresh vector.
+func (b BitVec) Xor(o BitVec) BitVec {
+	r := b.Clone()
+	r.XorInPlace(o)
+	return r
+}
+
+// AndPopCount returns the number of positions where both b and o are 1,
+// i.e. popcount(b AND o). This is the inner product workhorse for GF(2)
+// matrix-vector products.
+func (b BitVec) AndPopCount(o BitVec) int {
+	if b.n != o.n {
+		panic("bitvec: width mismatch")
+	}
+	c := 0
+	for i := range b.words {
+		c += popcount64(b.words[i] & o.words[i])
+	}
+	return c
+}
+
+// Dot returns the GF(2) inner product of b and o.
+func (b BitVec) Dot(o BitVec) bool { return b.AndPopCount(o)&1 == 1 }
+
+// PopCount returns the number of set bits.
+func (b BitVec) PopCount() int {
+	c := 0
+	for _, w := range b.words {
+		c += popcount64(w)
+	}
+	return c
+}
+
+// IsZero reports whether every bit is zero.
+func (b BitVec) IsZero() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether b and o have the same width and bits.
+func (b BitVec) Equal(o BitVec) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cmp compares b and o lexicographically as bit strings (position 0 first).
+// It returns -1, 0, or +1. Widths must match.
+func (b BitVec) Cmp(o BitVec) int {
+	if b.n != o.n {
+		panic("bitvec: width mismatch")
+	}
+	for i := 0; i < b.n; i++ {
+		x, y := b.Get(i), o.Get(i)
+		if x != y {
+			if y {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether b precedes o lexicographically.
+func (b BitVec) Less(o BitVec) bool { return b.Cmp(o) < 0 }
+
+// TrailingZeros returns the number of consecutive zero bits at the least
+// significant (rightmost string) end. A zero vector has n trailing zeros.
+func (b BitVec) TrailingZeros() int {
+	c := 0
+	for i := b.n - 1; i >= 0; i-- {
+		if b.Get(i) {
+			return c
+		}
+		c++
+	}
+	return c
+}
+
+// LeadingZeros returns the number of consecutive zero bits at position 0
+// onward, i.e. the length of the all-zero prefix.
+func (b BitVec) LeadingZeros() int {
+	c := 0
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			return c
+		}
+		c++
+	}
+	return c
+}
+
+// HasZeroPrefix reports whether the first m bits are all zero.
+func (b BitVec) HasZeroPrefix(m int) bool {
+	if m > b.n {
+		panic("bitvec: prefix longer than vector")
+	}
+	for i := 0; i < m; i++ {
+		if b.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Prefix returns the first m bits as a fresh m-bit vector.
+func (b BitVec) Prefix(m int) BitVec {
+	if m > b.n {
+		panic("bitvec: prefix longer than vector")
+	}
+	p := New(m)
+	for i := 0; i < m; i++ {
+		if b.Get(i) {
+			p.Set(i, true)
+		}
+	}
+	return p
+}
+
+// String renders the vector as a bit string, position 0 first.
+func (b BitVec) String() string {
+	buf := make([]byte, b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// Fraction interprets the vector (position 0 first) as a binary fraction
+// in [0, 1), using the first 53 bits. Lexicographic order on vectors of
+// equal width agrees with numeric order on fractions (up to the 53-bit
+// truncation), which is what the k-minimum-values estimator needs.
+func (b BitVec) Fraction() float64 {
+	f := 0.0
+	scale := 0.5
+	limit := b.n
+	if limit > 53 {
+		limit = 53
+	}
+	for i := 0; i < limit; i++ {
+		if b.Get(i) {
+			f += scale
+		}
+		scale /= 2
+	}
+	return f
+}
+
+// Key returns a compact string usable as a map key. Vectors of equal width
+// have equal keys iff they are equal.
+func (b BitVec) Key() string {
+	buf := make([]byte, 0, len(b.words)*8)
+	for _, w := range b.words {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>s))
+		}
+	}
+	return string(buf)
+}
+
+// Random fills an n-bit vector using next as the entropy source; next is
+// called once per 64-bit word. Excess high bits of the last word are masked
+// so that Equal and Key behave correctly.
+func Random(n int, next func() uint64) BitVec {
+	b := New(n)
+	for i := range b.words {
+		b.words[i] = next()
+	}
+	if rem := n % wordBits; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+	return b
+}
+
+func popcount64(x uint64) int { return bits.OnesCount64(x) }

@@ -1,0 +1,222 @@
+package counting
+
+import (
+	"sort"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/formula"
+	"mcf0/internal/gf2"
+	"mcf0/internal/hash"
+	"mcf0/internal/oracle"
+	"mcf0/internal/stats"
+)
+
+// FindMinDNF implements Proposition 2's polynomial-time case: the p
+// lexicographically smallest elements of h(Sol(φ)) for a DNF φ. Per term,
+// the image of h over the term's solution cube is an affine image searched
+// with Gaussian elimination.
+//
+// The walk is pruned across terms: once p values are collected, a term's
+// successor chain is abandoned as soon as it exceeds the current p-th
+// smallest, so for large k most terms cost a single lex-min computation.
+func FindMinDNF(d *formula.DNF, h *hash.Linear, p int) []bitvec.BitVec {
+	if h.InBits() != d.N {
+		panic("counting: hash input width != variable count")
+	}
+	acc := newKMinAcc(p)
+	for _, t := range d.Terms {
+		s, ok := termImageSearcher(d.N, t, h)
+		if !ok {
+			continue
+		}
+		cur, found := s.Min()
+		for found && acc.candidate(cur) {
+			acc.insert(cur)
+			cur, found = s.Successor(cur)
+		}
+	}
+	return acc.values
+}
+
+// kMinAcc accumulates the p smallest distinct bit vectors seen.
+type kMinAcc struct {
+	p      int
+	values []bitvec.BitVec // sorted ascending, ≤ p entries
+}
+
+func newKMinAcc(p int) *kMinAcc { return &kMinAcc{p: p} }
+
+// candidate reports whether v could still enter the accumulator.
+func (a *kMinAcc) candidate(v bitvec.BitVec) bool {
+	return len(a.values) < a.p || v.Less(a.values[len(a.values)-1])
+}
+
+func (a *kMinAcc) insert(v bitvec.BitVec) {
+	idx := sort.Search(len(a.values), func(i int) bool { return !a.values[i].Less(v) })
+	if idx < len(a.values) && a.values[idx].Equal(v) {
+		return
+	}
+	if len(a.values) < a.p {
+		a.values = append(a.values, bitvec.BitVec{})
+	} else if idx >= len(a.values) {
+		return
+	}
+	copy(a.values[idx+1:], a.values[idx:len(a.values)-1])
+	a.values[idx] = v
+}
+
+// termImageSearcher builds the affine image {h(x) : x ⊨ t}: fixing the
+// term's variables folds their contribution into the offset, leaving the
+// hash matrix restricted to the free columns.
+func termImageSearcher(n int, t formula.Term, h *hash.Linear) (*gf2.ImageSearcher, bool) {
+	norm, ok := t.Normalize()
+	if !ok {
+		return nil, false
+	}
+	fixed, val := formula.TermFixed(n, norm)
+	free := make([]bool, n)
+	for i := range free {
+		free[i] = !fixed[i]
+	}
+	aFree := h.A.SelectColumns(free)
+	offset := h.A.MulVec(val).Xor(h.B)
+	return gf2.NewImageSearcher(aFree, offset, nil), true
+}
+
+// FindMinOracle implements Proposition 2's NP-oracle case: the same prefix
+// search, but each prefix-feasibility question "is there x ⊨ φ with
+// h(x) starting y₁…yₗ?" becomes one oracle query (the paper's O(p·m) NP
+// calls). It works for any Source backend, in particular CNF.
+func FindMinOracle(src oracle.Source, h *hash.Linear, p int) []bitvec.BitVec {
+	s := &oracleImageSearcher{src: src, h: h}
+	var out []bitvec.BitVec
+	cur, ok := s.lexMinWithPrefix(nil)
+	for ok && len(out) < p {
+		out = append(out, cur)
+		cur, ok = s.successor(cur)
+	}
+	return out
+}
+
+// oracleImageSearcher mirrors gf2.ImageSearcher with feasibility decided by
+// the oracle instead of pure linear algebra (φ is not affine for CNF).
+type oracleImageSearcher struct {
+	src oracle.Source
+	h   *hash.Linear
+}
+
+// feasible reports whether some x ⊨ φ has h(x) starting with prefix.
+// Linearly inconsistent prefixes are rejected without an oracle call.
+func (s *oracleImageSearcher) feasible(prefix []bool) bool {
+	cons := gf2.NewSystem(s.h.InBits())
+	for i, bit := range prefix {
+		cons.Add(s.h.A.Row(i), bit != s.h.B.Get(i))
+		if !cons.Consistent() {
+			return false
+		}
+	}
+	return s.src.Enumerate(cons, 1, func(bitvec.BitVec) bool { return true }) > 0
+}
+
+func (s *oracleImageSearcher) lexMinWithPrefix(prefix []bool) (bitvec.BitVec, bool) {
+	m := s.h.OutBits()
+	if !s.feasible(prefix) {
+		return bitvec.BitVec{}, false
+	}
+	cur := append([]bool(nil), prefix...)
+	for i := len(prefix); i < m; i++ {
+		cur = append(cur, false)
+		if !s.feasible(cur) {
+			cur[i] = true
+		}
+	}
+	y := bitvec.New(m)
+	for i, bit := range cur {
+		if bit {
+			y.Set(i, true)
+		}
+	}
+	return y, true
+}
+
+func (s *oracleImageSearcher) successor(y bitvec.BitVec) (bitvec.BitVec, bool) {
+	m := s.h.OutBits()
+	for r := m - 1; r >= 0; r-- {
+		if y.Get(r) {
+			continue
+		}
+		prefix := make([]bool, r+1)
+		for i := 0; i < r; i++ {
+			prefix[i] = y.Get(i)
+		}
+		prefix[r] = true
+		if next, ok := s.lexMinWithPrefix(prefix); ok {
+			return next, true
+		}
+	}
+	return bitvec.BitVec{}, false
+}
+
+// FindMinFunc produces the p smallest hashed solutions for a given hash;
+// ApproxModelCountMin is generic over it so the DNF fast path and the
+// CNF oracle path share the estimator.
+type FindMinFunc func(h *hash.Linear, p int) []bitvec.BitVec
+
+// ApproxModelCountMin implements Algorithm 6, the Minimum-based counter:
+// each trial draws h from H_Toeplitz(n, 3n), computes the Thresh smallest
+// values of h(Sol(φ)), and estimates |Sol(φ)| as Thresh / frac(maxS) — the
+// k-minimum-values estimator, where frac treats the 3n-bit string as a
+// binary fraction in [0, 1). If fewer than Thresh values exist, the image
+// is exhausted and its size is the (then exact, since h is injective on
+// Sol(φ) w.h.p. at range 3n) estimate.
+func ApproxModelCountMin(n int, findMin FindMinFunc, opts Options) Result {
+	thresh := opts.thresh()
+	t := opts.iterations()
+	rng := opts.rng()
+	var fam hash.Family = hash.NewToeplitz(n, 3*n)
+	if opts.Family != nil {
+		if opts.Family.InBits() != n || opts.Family.OutBits() != 3*n {
+			panic("counting: ApproxModelCountMin hash family must map n → 3n bits")
+		}
+		fam = opts.Family
+	}
+	res := Result{Iterations: t}
+	for i := 0; i < t; i++ {
+		h := fam.Draw(rng.Uint64).(*hash.Linear)
+		mins := findMin(h, thresh)
+		var est float64
+		if len(mins) < thresh {
+			est = float64(len(mins))
+		} else {
+			maxFrac := mins[len(mins)-1].Fraction()
+			if maxFrac == 0 {
+				est = float64(len(mins))
+			} else {
+				est = float64(thresh) / maxFrac
+			}
+		}
+		res.PerIteration = append(res.PerIteration, est)
+	}
+	res.Estimate = stats.Median(res.PerIteration)
+	return res
+}
+
+// ApproxModelCountMinDNF runs Algorithm 6 with the polynomial-time FindMin,
+// i.e. the FPRAS for #DNF of Theorem 3.
+func ApproxModelCountMinDNF(d *formula.DNF, opts Options) Result {
+	return ApproxModelCountMin(d.N, func(h *hash.Linear, p int) []bitvec.BitVec {
+		return FindMinDNF(d, h, p)
+	}, opts)
+}
+
+// ApproxModelCountMinOracle runs Algorithm 6 against an NP-oracle backend
+// (Theorem 3's CNF case: O(p·n·log(1/δ)/ε²) oracle calls), metering
+// queries.
+func ApproxModelCountMinOracle(src oracle.Source, opts Options) Result {
+	before := src.Queries()
+	res := ApproxModelCountMin(src.NVars(), func(h *hash.Linear, p int) []bitvec.BitVec {
+		return FindMinOracle(src, h, p)
+	}, opts)
+	res.OracleQueries = src.Queries() - before
+	return res
+}

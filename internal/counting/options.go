@@ -1,0 +1,101 @@
+// Package counting implements the model-counting algorithms of the paper:
+//
+//   - BoundedSAT (Proposition 1) and ApproxMC (Algorithm 5), the
+//     Bucketing-based counter, with both the paper's linear search and the
+//     ApproxMC2 binary search over prefix lengths;
+//   - FindMin (Proposition 2) and ApproxModelCountMin (Algorithm 6), the
+//     Minimum-based counter — an FPRAS for DNF;
+//   - FindMaxRange (Proposition 3) and ApproxModelCountEst (Algorithm 7),
+//     the Estimation-based counter, plus the Flajolet–Martin rough counter
+//     used to supply its range parameter r;
+//   - a Karp–Luby Monte-Carlo FPRAS for #DNF as the classical baseline.
+//
+// All algorithms run against the oracle abstractions of internal/oracle, so
+// accuracy experiments and oracle-call accounting are backend-independent.
+package counting
+
+import (
+	"math"
+
+	"mcf0/internal/hash"
+	"mcf0/internal/stats"
+)
+
+// Options parameterises the (ε, δ) algorithms. The zero value selects the
+// paper's constants: Thresh = 96/ε² and t = 35·log₂(1/δ) iterations with
+// ε = 0.8 and δ = 0.2. Tests dial Thresh and Iterations down explicitly.
+type Options struct {
+	// Epsilon is the multiplicative tolerance; estimates land within
+	// [c/(1+ε), c(1+ε)] with probability ≥ 1−δ. Defaults to 0.8.
+	Epsilon float64
+	// Delta is the failure probability. Defaults to 0.2.
+	Delta float64
+	// Thresh overrides the bucket/minimum size 96/ε² when positive.
+	Thresh int
+	// Iterations overrides the median-trial count 35·log₂(1/δ) when
+	// positive.
+	Iterations int
+	// BinarySearch selects the ApproxMC2-style galloping/binary search
+	// over prefix lengths instead of Algorithm 5's linear scan.
+	BinarySearch bool
+	// Family overrides the linear hash family (ablation A1: H_Toeplitz vs
+	// H_xor). It must have the same shape as the default — n → n for
+	// ApproxMC, n → 3n for ApproxModelCountMin. Nil selects H_Toeplitz.
+	Family hash.Family
+	// RNG supplies randomness; a fixed-seed generator is used when nil so
+	// that every run is reproducible by default.
+	RNG *stats.RNG
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon > 0 {
+		return o.Epsilon
+	}
+	return 0.8
+}
+
+func (o Options) delta() float64 {
+	if o.Delta > 0 && o.Delta < 1 {
+		return o.Delta
+	}
+	return 0.2
+}
+
+// thresh returns the paper's Thresh = ⌈96/ε²⌉ unless overridden.
+func (o Options) thresh() int {
+	if o.Thresh > 0 {
+		return o.Thresh
+	}
+	return int(math.Ceil(96 / (o.epsilon() * o.epsilon())))
+}
+
+// iterations returns the paper's t = ⌈35·log₂(1/δ)⌉ unless overridden.
+func (o Options) iterations() int {
+	if o.Iterations > 0 {
+		return o.Iterations
+	}
+	t := int(math.Ceil(35 * math.Log2(1/o.delta())))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (o Options) rng() *stats.RNG {
+	if o.RNG != nil {
+		return o.RNG
+	}
+	return stats.NewRNG(0x6d63663073656564) // "mcf0seed"
+}
+
+// Result reports an estimate together with the work that produced it.
+type Result struct {
+	// Estimate is the (ε, δ)-approximation of |Sol(φ)|.
+	Estimate float64
+	// OracleQueries is the cumulative NP-oracle (or per-term solve) count.
+	OracleQueries int64
+	// Iterations is the number of median trials executed.
+	Iterations int
+	// PerIteration holds each trial's individual estimate.
+	PerIteration []float64
+}

@@ -1,0 +1,377 @@
+// Package distributed implements Section 4 of the paper: distributed DNF
+// counting. A DNF φ is partitioned into k subformulas held by k sites; a
+// coordinator must produce an (ε, δ)-approximation of |Sol(φ)| while
+// minimising communication. All three transformations of Section 3 carry
+// over; this package implements each protocol and meters exact message
+// bits, the quantity the paper's bounds govern:
+//
+//   - Bucketing:  Õ(k·(n + 1/ε²)·log(1/δ)) bits — sites send fingerprints
+//     and trailing-zero levels of their cell contents;
+//   - Minimum:    O(k·n/ε²·log(1/δ)) bits — sites send their Thresh
+//     smallest 3n-bit hash values;
+//   - Estimation: Õ(k·(n + 1/ε²)·log(1/δ)) bits — sites send one
+//     trailing-zero count per hash function.
+//
+// The sites and coordinator are simulated in-process; the simulation is
+// sequential and deterministic, which changes nothing about the
+// communication cost the experiments measure.
+package distributed
+
+import (
+	"math"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/counting"
+	"mcf0/internal/formula"
+	"mcf0/internal/hash"
+	"mcf0/internal/oracle"
+	"mcf0/internal/stats"
+)
+
+// Options parameterises the protocols (paper constants when zero).
+type Options struct {
+	Epsilon    float64
+	Delta      float64
+	Thresh     int
+	Iterations int
+	RNG        *stats.RNG
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon > 0 {
+		return o.Epsilon
+	}
+	return 0.8
+}
+
+func (o Options) delta() float64 {
+	if o.Delta > 0 && o.Delta < 1 {
+		return o.Delta
+	}
+	return 0.2
+}
+
+func (o Options) thresh() int {
+	if o.Thresh > 0 {
+		return o.Thresh
+	}
+	return int(96/(o.epsilon()*o.epsilon())) + 1
+}
+
+func (o Options) iterations() int {
+	if o.Iterations > 0 {
+		return o.Iterations
+	}
+	t := int(math.Ceil(35 * math.Log2(1/o.delta())))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (o Options) rng() *stats.RNG {
+	if o.RNG != nil {
+		return o.RNG
+	}
+	return stats.NewRNG(0xd15721b07ed)
+}
+
+// Comm tallies the exact number of bits exchanged.
+type Comm struct {
+	CoordToSites int64 // hash function descriptions broadcast
+	SitesToCoord int64 // sketch contents returned
+}
+
+// Total returns the total communication in bits.
+func (c Comm) Total() int64 { return c.CoordToSites + c.SitesToCoord }
+
+// Result reports the coordinator's estimate and the protocol's cost.
+type Result struct {
+	Estimate float64
+	Comm     Comm
+	// PerIteration carries the per-hash estimates behind the median.
+	PerIteration []float64
+}
+
+// Split partitions a DNF into k subformulas by dealing terms round-robin —
+// the "arbitrary partition" of the distributed functional monitoring view.
+func Split(d *formula.DNF, k int) []*formula.DNF {
+	if k < 1 {
+		panic("distributed: need at least one site")
+	}
+	parts := make([]*formula.DNF, k)
+	for i := range parts {
+		parts[i] = formula.NewDNF(d.N)
+	}
+	for i, t := range d.Terms {
+		parts[i%k].AddTerm(t)
+	}
+	return parts
+}
+
+// toeplitzBits is the broadcast cost of one H_Toeplitz(n, m) function:
+// n+m−1 diagonal bits plus m offset bits.
+func toeplitzBits(n, m int) int64 { return int64(n + m - 1 + m) }
+
+// xorBits is the broadcast cost of one H_xor(n, m) function: the full
+// matrix plus offset.
+func xorBits(n, m int) int64 { return int64(n*m + m) }
+
+// levelBits is the cost of sending one trailing-zero level in [0, n].
+func levelBits(n int) int64 {
+	b := int64(1)
+	for 1<<uint(b) < n+1 {
+		b++
+	}
+	return b
+}
+
+// Bucketing runs the distributed Bucketing protocol. Cells are defined by
+// trailing zeros of H[i](x) (distributionally identical to the prefix form
+// and what lets a site's message ⟨G(x), TrailZero(H[i](x))⟩ serve every
+// level ≥ its own): site j sends one tuple per element of its level-m_{i,j}
+// cell, where m_{i,j} is the smallest level whose local cell is below
+// Thresh. The coordinator unions tuples by fingerprint, finds the smallest
+// global level whose cell is below Thresh, and estimates as in ApproxMC.
+func Bucketing(parts []*formula.DNF, opts Options) Result {
+	k := len(parts)
+	n := parts[0].N
+	thresh := opts.thresh()
+	t := opts.iterations()
+	rng := opts.rng()
+
+	// Fingerprint width: collisions among ≤ k·Thresh distinct elements per
+	// iteration must be unlikely across t iterations.
+	pairs := float64(k*thresh) * float64(k*thresh) * float64(t)
+	gBits := int(math.Ceil(math.Log2(pairs / opts.delta())))
+	if gBits < 1 {
+		gBits = 1
+	}
+	if gBits > 2*n {
+		gBits = 2 * n
+	}
+
+	var res Result
+	hFam := hash.NewToeplitz(n, n)
+	gFam := hash.NewXor(n, gBits)
+	g := gFam.Draw(rng.Uint64).(*hash.Linear)
+	res.Comm.CoordToSites += int64(k) * xorBits(n, gBits)
+
+	srcs := make([]*oracle.DNFSource, k)
+	for j := range parts {
+		srcs[j] = oracle.NewDNFSource(parts[j])
+	}
+
+	for i := 0; i < t; i++ {
+		h := hFam.Draw(rng.Uint64).(*hash.Linear)
+		res.Comm.CoordToSites += int64(k) * toeplitzBits(n, n)
+
+		// tuples: fingerprint key → trailing-zero level of H(x). Each site
+		// also reports its local level; the coordinator's tuple set is
+		// complete only for levels ≥ the maximum local level (below it,
+		// some site had ≥ Thresh elements it did not send).
+		tuples := map[string]int{}
+		maxLocal := 0
+		for j := 0; j < k; j++ {
+			site, local := siteBucketCell(srcs[j], h, thresh)
+			res.Comm.SitesToCoord += levelBits(n)
+			if local > maxLocal {
+				maxLocal = local
+			}
+			for _, x := range site {
+				tz := h.Eval(x).TrailingZeros()
+				fp := g.Eval(x).Key()
+				res.Comm.SitesToCoord += int64(gBits) + levelBits(n)
+				if old, ok := tuples[fp]; !ok || tz > old {
+					tuples[fp] = tz
+				}
+			}
+		}
+		// Coordinator: smallest level m ≥ maxLocal with
+		// |{fp : tz ≥ m}| < Thresh (the true global level is ≥ every local
+		// level, so the search range is where the data is complete).
+		m := maxLocal
+		for {
+			count := 0
+			for _, tz := range tuples {
+				if tz >= m {
+					count++
+				}
+			}
+			if count < thresh || m == n {
+				res.PerIteration = append(res.PerIteration,
+					float64(count)*math.Pow(2, float64(m)))
+				break
+			}
+			m++
+		}
+	}
+	res.Estimate = stats.Median(res.PerIteration)
+	return res
+}
+
+// siteBucketCell returns the site's level-m cell contents and the level m
+// itself, for the smallest m at which the cell is below Thresh — the
+// BoundedSAT adaptation of Section 4, with cells keyed by trailing zeros.
+func siteBucketCell(src oracle.Source, h *hash.Linear, thresh int) ([]bitvec.BitVec, int) {
+	n := h.InBits()
+	for m := 0; ; m++ {
+		cons := h.SuffixZeroSystem(m)
+		var cell []bitvec.BitVec
+		c := src.Enumerate(cons, thresh, func(x bitvec.BitVec) bool {
+			cell = append(cell, x)
+			return true
+		})
+		if c < thresh || m == n {
+			return cell, m
+		}
+	}
+}
+
+// Minimum runs the distributed Minimum protocol: each site sends the
+// Thresh lexicographically smallest 3n-bit hash values of its solutions;
+// the coordinator keeps the global Thresh smallest.
+func Minimum(parts []*formula.DNF, opts Options) Result {
+	k := len(parts)
+	n := parts[0].N
+	thresh := opts.thresh()
+	t := opts.iterations()
+	rng := opts.rng()
+	fam := hash.NewToeplitz(n, 3*n)
+
+	var res Result
+	for i := 0; i < t; i++ {
+		h := fam.Draw(rng.Uint64).(*hash.Linear)
+		res.Comm.CoordToSites += int64(k) * toeplitzBits(n, 3*n)
+		var global []bitvec.BitVec
+		for j := 0; j < k; j++ {
+			mins := counting.FindMinDNF(parts[j], h, thresh)
+			res.Comm.SitesToCoord += int64(len(mins)) * int64(3*n)
+			global = mergeMins(global, mins, thresh)
+		}
+		if len(global) < thresh {
+			res.PerIteration = append(res.PerIteration, float64(len(global)))
+		} else {
+			f := global[len(global)-1].Fraction()
+			if f == 0 {
+				res.PerIteration = append(res.PerIteration, float64(len(global)))
+			} else {
+				res.PerIteration = append(res.PerIteration, float64(thresh)/f)
+			}
+		}
+	}
+	res.Estimate = stats.Median(res.PerIteration)
+	return res
+}
+
+func mergeMins(a, b []bitvec.BitVec, limit int) []bitvec.BitVec {
+	out := make([]bitvec.BitVec, 0, limit)
+	i, j := 0, 0
+	for (i < len(a) || j < len(b)) && len(out) < limit {
+		var v bitvec.BitVec
+		switch {
+		case i >= len(a):
+			v = b[j]
+			j++
+		case j >= len(b):
+			v = a[i]
+			i++
+		case a[i].Less(b[j]):
+			v = a[i]
+			i++
+		default:
+			v = b[j]
+			j++
+		}
+		if len(out) == 0 || !out[len(out)-1].Equal(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Estimation runs the distributed Estimation protocol: for every hash
+// function the sites send their local maximum trailing-zero count (one
+// level value each) and the coordinator takes the maximum — trailing-zero
+// maxima compose under union. The range parameter r must satisfy
+// 2F0 ≤ 2^r ≤ 50F0 (see RoughR). Sites answer FindMaxRange with the
+// exhaustive tester, as no polynomial algorithm is known for DNF
+// (Section 3.4); n is therefore capped at 24 here.
+func Estimation(parts []*formula.DNF, r int, opts Options) Result {
+	k := len(parts)
+	n := parts[0].N
+	thresh := opts.thresh()
+	t := opts.iterations()
+	rng := opts.rng()
+	s := int(math.Ceil(10 * math.Log2(1/opts.epsilon())))
+	if s < 2 {
+		s = 2
+	}
+	fam := hash.NewPoly(n, s)
+
+	testers := make([]*oracle.Exhaustive, k)
+	for j := range parts {
+		testers[j] = oracle.NewExhaustive(n, parts[j].Eval)
+	}
+
+	var res Result
+	for i := 0; i < t; i++ {
+		hits := 0
+		for jj := 0; jj < thresh; jj++ {
+			h := fam.Draw(rng.Uint64)
+			res.Comm.CoordToSites += int64(k) * int64(s*n) // s coefficients of n bits
+			best := -1
+			for j := 0; j < k; j++ {
+				local := counting.FindMaxRange(testers[j], h, n)
+				res.Comm.SitesToCoord += levelBits(n)
+				if local > best {
+					best = local
+				}
+			}
+			if best >= r {
+				hits++
+			}
+		}
+		res.PerIteration = append(res.PerIteration, stats.CouponEstimate(hits, thresh, r))
+	}
+	res.Estimate = stats.Median(res.PerIteration)
+	return res
+}
+
+// RoughR runs a distributed Flajolet–Martin round to pick the Estimation
+// protocol's range parameter: sites send the maximum trailing-zero count of
+// a shared pairwise-independent linear hash over their local solutions; the
+// coordinator medians over trials and offsets into the Lemma 3 window.
+func RoughR(parts []*formula.DNF, trials int, opts Options) (int, Comm) {
+	k := len(parts)
+	n := parts[0].N
+	rng := opts.rng()
+	fam := hash.NewXor(n, n)
+	srcs := make([]*oracle.DNFSource, k)
+	for j := range parts {
+		srcs[j] = oracle.NewDNFSource(parts[j])
+	}
+	var comm Comm
+	var rs []float64
+	for i := 0; i < trials; i++ {
+		h := fam.Draw(rng.Uint64).(*hash.Linear)
+		comm.CoordToSites += int64(k) * xorBits(n, n)
+		best := -1
+		for j := 0; j < k; j++ {
+			local := counting.FindMaxRangeLinear(srcs[j], h)
+			comm.SitesToCoord += levelBits(n)
+			if local > best {
+				best = local
+			}
+		}
+		if best < 0 {
+			return -1, comm // unsatisfiable everywhere
+		}
+		rs = append(rs, float64(best))
+	}
+	r := int(stats.Median(rs)) + 3
+	if r > n {
+		r = n // the Lemma 3 window is infeasible for very dense sets
+	}
+	return r, comm
+}

@@ -1,0 +1,77 @@
+package formula
+
+import (
+	"mcf0/internal/bitvec"
+	"mcf0/internal/stats"
+)
+
+// RandomKCNF generates a uniform random k-CNF with m clauses over n
+// variables: each clause picks k distinct variables and independent signs.
+func RandomKCNF(n, m, k int, rng *stats.RNG) *CNF {
+	if k > n {
+		panic("formula: clause width exceeds variable count")
+	}
+	c := NewCNF(n)
+	for i := 0; i < m; i++ {
+		c.AddClause(Clause(randomLits(n, k, rng)))
+	}
+	return c
+}
+
+// PlantedKCNF generates a random k-CNF guaranteed satisfiable: a hidden
+// assignment is drawn and every clause is re-sampled until it satisfies it.
+// The planted witness is returned alongside the formula.
+func PlantedKCNF(n, m, k int, rng *stats.RNG) (*CNF, bitvec.BitVec) {
+	witness := bitvec.Random(n, rng.Uint64)
+	c := NewCNF(n)
+	for i := 0; i < m; i++ {
+		for {
+			cl := Clause(randomLits(n, k, rng))
+			if cl.Eval(witness) {
+				c.AddClause(cl)
+				break
+			}
+		}
+	}
+	return c, witness
+}
+
+// RandomDNF generates a DNF with k terms of the given width over n
+// variables, each term picking distinct variables with independent signs.
+func RandomDNF(n, k, width int, rng *stats.RNG) *DNF {
+	if width > n {
+		panic("formula: term width exceeds variable count")
+	}
+	d := NewDNF(n)
+	for i := 0; i < k; i++ {
+		d.AddTerm(Term(randomLits(n, width, rng)))
+	}
+	return d
+}
+
+func randomLits(n, k int, rng *stats.RNG) []Lit {
+	// Partial Fisher-Yates over variable indices.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	lits := make([]Lit, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+		lits[i] = Lit{Var: perm[i], Neg: rng.Bool()}
+	}
+	return lits
+}
+
+// SingletonDNF returns the DNF whose only solution is x — the encoding that
+// embeds a plain element stream into a DNF-set stream (Section 5).
+func SingletonDNF(x bitvec.BitVec) *DNF {
+	d := NewDNF(x.Len())
+	t := make(Term, x.Len())
+	for i := 0; i < x.Len(); i++ {
+		t[i] = litFor(i, x.Get(i))
+	}
+	d.AddTerm(t)
+	return d
+}

@@ -1,0 +1,150 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/stats"
+)
+
+// Property: adding the same equation twice never changes rank or
+// consistency (idempotence of the echelon basis).
+func TestQuickAddIdempotent(t *testing.T) {
+	f := func(seed uint64, rowsRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(12)
+		rows := int(rowsRaw % 8)
+		sys := NewSystem(n)
+		var saved []struct {
+			a   bitvec.BitVec
+			rhs bool
+		}
+		for i := 0; i < rows; i++ {
+			a := bitvec.Random(n, rng.Uint64)
+			rhs := rng.Bool()
+			saved = append(saved, struct {
+				a   bitvec.BitVec
+				rhs bool
+			}{a, rhs})
+			sys.Add(a, rhs)
+		}
+		rank, cons := sys.Rank(), sys.Consistent()
+		for _, s := range saved {
+			sys.Add(s.a, s.rhs)
+		}
+		return sys.Rank() == rank && sys.Consistent() == cons
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone isolation — mutating a clone never affects the parent.
+func TestQuickCloneIsolation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(10)
+		sys := NewSystem(n)
+		for i := 0; i < 3; i++ {
+			sys.Add(bitvec.Random(n, rng.Uint64), rng.Bool())
+		}
+		rank, cons := sys.Rank(), sys.Consistent()
+		clone := sys.Clone()
+		for i := 0; i < 5; i++ {
+			clone.Add(bitvec.Random(n, rng.Uint64), rng.Bool())
+		}
+		return sys.Rank() == rank && sys.Consistent() == cons
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every equation returned by Equations() is satisfied by every
+// enumerated solution.
+func TestQuickEquationsSound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(8)
+		sys := NewSystem(n)
+		for i := 0; i < rng.Intn(6); i++ {
+			sys.Add(bitvec.Random(n, rng.Uint64), rng.Bool())
+		}
+		okAll := true
+		count := 0
+		sys.EnumerateSolutions(16, func(x bitvec.BitVec) bool {
+			count++
+			for _, eq := range sys.Equations() {
+				if eq.A.Dot(x) != eq.RHS {
+					okAll = false
+					return false
+				}
+			}
+			return true
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the image searcher's Min is a true lower bound — Contains(y)
+// implies Min() ≤ y.
+func TestQuickImageMinIsLowerBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		a := RandomMatrix(m, n, rng.Uint64)
+		b := bitvec.Random(m, rng.Uint64)
+		s := NewImageSearcher(a, b, nil)
+		min, ok := s.Min()
+		if !ok {
+			return false // unconstrained image is never empty
+		}
+		// Probe with images of random points; all must be ≥ min.
+		for i := 0; i < 10; i++ {
+			y := a.MulVec(bitvec.Random(n, rng.Uint64)).Xor(b)
+			if y.Less(min) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Successor is strictly increasing and stays inside the image.
+func TestQuickSuccessorMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(5)
+		m := 2 + rng.Intn(6)
+		a := RandomMatrix(m, n, rng.Uint64)
+		b := bitvec.Random(m, rng.Uint64)
+		s := NewImageSearcher(a, b, nil)
+		cur, ok := s.Min()
+		steps := 0
+		for ok && steps < 10 {
+			next, ok2 := s.Successor(cur)
+			if ok2 {
+				if !cur.Less(next) {
+					return false
+				}
+				if !s.Contains(next) {
+					return false
+				}
+			}
+			cur, ok = next, ok2
+			steps++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

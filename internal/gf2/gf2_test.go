@@ -1,0 +1,291 @@
+package gf2
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mcf0/internal/bitvec"
+)
+
+func randVec(n int, rng *rand.Rand) bitvec.BitVec {
+	return bitvec.Random(n, rng.Uint64)
+}
+
+func TestMulVecLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := RandomMatrix(rows, cols, rng.Uint64)
+		x, y := randVec(cols, rng), randVec(cols, rng)
+		// M(x+y) = Mx + My
+		if !m.MulVec(x.Xor(y)).Equal(m.MulVec(x).Xor(m.MulVec(y))) {
+			t.Fatal("MulVec not linear")
+		}
+	}
+}
+
+func TestSystemAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		cols := 1 + rng.Intn(10)
+		rows := rng.Intn(12)
+		m := RandomMatrix(rows, cols, rng.Uint64)
+		rhs := randVec(rows, rng)
+		sys := NewSystem(cols)
+		for i := 0; i < rows; i++ {
+			sys.Add(m.Row(i), rhs.Get(i))
+		}
+		// Brute force: count x with Mx = rhs.
+		want := 0
+		var witness bitvec.BitVec
+		for v := uint64(0); v < 1<<uint(cols); v++ {
+			x := bitvec.FromUint64(v, cols)
+			if m.MulVec(x).Equal(rhs) {
+				if want == 0 {
+					witness = x
+				}
+				want++
+			}
+		}
+		if sys.Consistent() != (want > 0) {
+			t.Fatalf("consistency mismatch: sys=%v brute=%d", sys.Consistent(), want)
+		}
+		if want == 0 {
+			continue
+		}
+		if got := sys.SolutionCountCapped(1 << 20); got != want {
+			t.Fatalf("solution count: got %d want %d (cols=%d rows=%d)", got, want, cols, rows)
+		}
+		x0, ok := sys.Solve()
+		if !ok || !m.MulVec(x0).Equal(rhs) {
+			t.Fatalf("Solve returned non-solution %v (witness %v)", x0, witness)
+		}
+		// Every null basis vector must map to zero.
+		for _, nb := range sys.NullBasis() {
+			if !m.MulVec(nb).IsZero() {
+				t.Fatal("null basis vector not in kernel")
+			}
+		}
+		// Enumeration must yield exactly the solution set, no duplicates.
+		seen := map[string]bool{}
+		sys.EnumerateSolutions(-1, func(x bitvec.BitVec) bool {
+			if !m.MulVec(x).Equal(rhs) {
+				t.Fatal("enumerated non-solution")
+			}
+			if seen[x.Key()] {
+				t.Fatal("duplicate solution enumerated")
+			}
+			seen[x.Key()] = true
+			return true
+		})
+		if len(seen) != want {
+			t.Fatalf("enumerated %d solutions, want %d", len(seen), want)
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	sys := NewSystem(10) // unconstrained: 1024 solutions
+	count := 0
+	sys.EnumerateSolutions(17, func(bitvec.BitVec) bool { count++; return true })
+	if count != 17 {
+		t.Fatalf("limit ignored: visited %d", count)
+	}
+	count = 0
+	sys.EnumerateSolutions(-1, func(bitvec.BitVec) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop ignored: visited %d", count)
+	}
+}
+
+func TestRankMatchesBruteImageSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := RandomMatrix(rows, cols, rng.Uint64)
+		img := map[string]bool{}
+		for v := uint64(0); v < 1<<uint(cols); v++ {
+			img[m.MulVec(bitvec.FromUint64(v, cols)).Key()] = true
+		}
+		if got, want := 1<<uint(m.Rank()), len(img); got != want {
+			t.Fatalf("2^rank=%d but image size %d", got, want)
+		}
+	}
+}
+
+// bruteImage computes sorted image {Ax+b : x sat cons} exhaustively.
+func bruteImage(a *Matrix, b bitvec.BitVec, cons *System) []bitvec.BitVec {
+	seen := map[string]bitvec.BitVec{}
+	n := a.Cols()
+	for v := uint64(0); v < 1<<uint(n); v++ {
+		x := bitvec.FromUint64(v, n)
+		if cons != nil {
+			ok := true
+			res, rr := cons.Residual(x, false)
+			_ = res
+			_ = rr
+			// check constraints by substitution instead: every pivot row
+			// of cons must hold.
+			ok = consHolds(cons, x)
+			if !ok {
+				continue
+			}
+		}
+		y := a.MulVec(x).Xor(b)
+		seen[y.Key()] = y
+	}
+	out := make([]bitvec.BitVec, 0, len(seen))
+	for _, y := range seen {
+		out = append(out, y)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func consHolds(cons *System, x bitvec.BitVec) bool {
+	if !cons.Consistent() {
+		return false
+	}
+	for _, p := range cons.pivots {
+		if p.a.Dot(x) != p.rhs {
+			return false
+		}
+	}
+	return true
+}
+
+func TestImageSearcherKMinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		cols := 1 + rng.Intn(8)
+		rows := 1 + rng.Intn(10)
+		a := RandomMatrix(rows, cols, rng.Uint64)
+		b := randVec(rows, rng)
+		var cons *System
+		if rng.Intn(2) == 0 {
+			cons = NewSystem(cols)
+			for i, k := 0, rng.Intn(3); i < k; i++ {
+				cons.Add(randVec(cols, rng), rng.Intn(2) == 0)
+			}
+		}
+		want := bruteImage(a, b, cons)
+		s := NewImageSearcher(a, b, cons)
+		if s.Empty() != (len(want) == 0 && cons != nil && !cons.Consistent()) {
+			// Empty() only reflects constraint inconsistency; image of a
+			// consistent system is never empty.
+			if s.Empty() && len(want) > 0 {
+				t.Fatal("searcher claims empty image but brute force found elements")
+			}
+		}
+		k := 1 + rng.Intn(10)
+		got := s.KMin(k)
+		wantK := want
+		if len(wantK) > k {
+			wantK = wantK[:k]
+		}
+		if len(got) != len(wantK) {
+			t.Fatalf("KMin(%d) returned %d elements, want %d", k, len(got), len(wantK))
+		}
+		for i := range got {
+			if !got[i].Equal(wantK[i]) {
+				t.Fatalf("KMin[%d] = %v, want %v", i, got[i], wantK[i])
+			}
+		}
+		// Contains must agree with membership for a few probes.
+		for probe := 0; probe < 10; probe++ {
+			y := randVec(rows, rng)
+			inBrute := false
+			for _, w := range want {
+				if w.Equal(y) {
+					inBrute = true
+					break
+				}
+			}
+			if s.Contains(y) != inBrute {
+				t.Fatalf("Contains(%v) = %v, brute = %v", y, s.Contains(y), inBrute)
+			}
+		}
+	}
+}
+
+func TestImageSearcherPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		cols := 1 + rng.Intn(6)
+		rows := 2 + rng.Intn(8)
+		a := RandomMatrix(rows, cols, rng.Uint64)
+		b := randVec(rows, rng)
+		s := NewImageSearcher(a, b, nil)
+		img := bruteImage(a, b, nil)
+		plen := rng.Intn(rows + 1)
+		prefix := make([]bool, plen)
+		for i := range prefix {
+			prefix[i] = rng.Intn(2) == 0
+		}
+		var want bitvec.BitVec
+		found := false
+		for _, y := range img {
+			match := true
+			for i, p := range prefix {
+				if y.Get(i) != p {
+					match = false
+					break
+				}
+			}
+			if match {
+				want, found = y, true
+				break
+			}
+		}
+		got, ok := s.LexMinWithPrefix(prefix)
+		if ok != found {
+			t.Fatalf("prefix feasibility mismatch: got %v want %v", ok, found)
+		}
+		if found && !got.Equal(want) {
+			t.Fatalf("LexMinWithPrefix = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := RandomMatrix(5, 8, rng.Uint64)
+	keep := []bool{true, false, true, true, false, false, true, false}
+	s := m.SelectColumns(keep)
+	if s.Cols() != 4 || s.Rows() != 5 {
+		t.Fatalf("shape %dx%d", s.Rows(), s.Cols())
+	}
+	for i := 0; i < 5; i++ {
+		j := 0
+		for c := 0; c < 8; c++ {
+			if keep[c] {
+				if s.Row(i).Get(j) != m.Row(i).Get(c) {
+					t.Fatal("column selection scrambled entries")
+				}
+				j++
+			}
+		}
+	}
+}
+
+func TestInconsistentSystem(t *testing.T) {
+	sys := NewSystem(3)
+	v := bitvec.FromString("101")
+	sys.Add(v, false)
+	sys.Add(v, true) // contradiction
+	if sys.Consistent() {
+		t.Fatal("contradictory system reported consistent")
+	}
+	if _, ok := sys.Solve(); ok {
+		t.Fatal("Solve succeeded on inconsistent system")
+	}
+	if sys.SolutionCountCapped(100) != 0 {
+		t.Fatal("inconsistent system has nonzero count")
+	}
+	called := false
+	sys.EnumerateSolutions(-1, func(bitvec.BitVec) bool { called = true; return true })
+	if called {
+		t.Fatal("enumeration visited solutions of inconsistent system")
+	}
+}

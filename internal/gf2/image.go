@@ -1,0 +1,138 @@
+package gf2
+
+import "mcf0/internal/bitvec"
+
+// ImageSearcher answers lexicographic queries about the affine image
+//
+//	Y = { A·x + b : x ∈ {0,1}^n, x satisfies cons }
+//
+// where cons is an optional set of additional linear constraints on x (used
+// by AffineFindMin, Proposition 4; nil means unconstrained). This is the
+// prefix-searching primitive from the proof of Proposition 2: feasibility of
+// a prefix y₁…yₗ reduces to consistency of the stacked linear system
+// A[1..l]·x = y[1..l] ⊕ b[1..l] together with cons.
+type ImageSearcher struct {
+	a    *Matrix
+	b    bitvec.BitVec
+	base *System
+}
+
+// NewImageSearcher builds a searcher for the image of h(x) = Ax + b over
+// solutions of cons (may be nil).
+func NewImageSearcher(a *Matrix, b bitvec.BitVec, cons *System) *ImageSearcher {
+	if b.Len() != a.Rows() {
+		panic("gf2: offset width must equal row count")
+	}
+	base := cons
+	if base == nil {
+		base = NewSystem(a.Cols())
+	} else if base.Cols() != a.Cols() {
+		panic("gf2: constraint system width mismatch")
+	}
+	return &ImageSearcher{a: a, b: b, base: base}
+}
+
+// OutBits returns the width of image elements.
+func (s *ImageSearcher) OutBits() int { return s.a.Rows() }
+
+// Empty reports whether the image is empty (constraints unsatisfiable).
+func (s *ImageSearcher) Empty() bool { return !s.base.Consistent() }
+
+// LexMinWithPrefix returns the lexicographically smallest element of the
+// image whose first len(prefix) bits equal prefix, and whether one exists.
+func (s *ImageSearcher) LexMinWithPrefix(prefix []bool) (bitvec.BitVec, bool) {
+	m := s.a.Rows()
+	if len(prefix) > m {
+		panic("gf2: prefix longer than image width")
+	}
+	sys := s.base.Clone()
+	if !sys.Consistent() {
+		return bitvec.BitVec{}, false
+	}
+	y := bitvec.New(m)
+	for i, bit := range prefix {
+		sys.Add(s.a.Row(i), bit != s.b.Get(i))
+		if !sys.Consistent() {
+			return bitvec.BitVec{}, false
+		}
+		if bit {
+			y.Set(i, true)
+		}
+	}
+	// Greedily extend: prefer yᵢ = 0; the residual tells us when the value
+	// is forced. Reducing (Aᵢ, bᵢ) gives the rhs that corresponds to yᵢ=0;
+	// if the reduced row is zero the only consistent choice is yᵢ = t ⊕ bᵢ
+	// where t is the reduced rhs of the homogeneous attempt.
+	for i := len(prefix); i < m; i++ {
+		row := s.a.Row(i)
+		red, rr := sys.Residual(row, s.b.Get(i)) // rhs for yᵢ = 0
+		if red.IsZero() {
+			// yᵢ forced: consistent value flips rr to false.
+			if rr {
+				y.Set(i, true)
+			}
+			continue
+		}
+		// Row independent: both values feasible, take 0 and commit.
+		sys.Add(row, s.b.Get(i))
+	}
+	return y, true
+}
+
+// Min returns the lexicographically smallest image element.
+func (s *ImageSearcher) Min() (bitvec.BitVec, bool) {
+	return s.LexMinWithPrefix(nil)
+}
+
+// Successor returns the smallest image element strictly greater than y, and
+// whether one exists. It follows the paper's strategy: walk the rightmost
+// zeros of y, trying to extend prefix y₁…y_{r-1}·1 for each zero position r
+// from right to left.
+func (s *ImageSearcher) Successor(y bitvec.BitVec) (bitvec.BitVec, bool) {
+	m := s.a.Rows()
+	if y.Len() != m {
+		panic("gf2: successor width mismatch")
+	}
+	for r := m - 1; r >= 0; r-- {
+		if y.Get(r) {
+			continue
+		}
+		prefix := make([]bool, r+1)
+		for i := 0; i < r; i++ {
+			prefix[i] = y.Get(i)
+		}
+		prefix[r] = true
+		if next, ok := s.LexMinWithPrefix(prefix); ok {
+			return next, true
+		}
+	}
+	return bitvec.BitVec{}, false
+}
+
+// KMin returns the k lexicographically smallest elements of the image in
+// increasing order (fewer if the image is smaller).
+func (s *ImageSearcher) KMin(k int) []bitvec.BitVec {
+	var out []bitvec.BitVec
+	cur, ok := s.Min()
+	for ok && len(out) < k {
+		out = append(out, cur)
+		cur, ok = s.Successor(cur)
+	}
+	return out
+}
+
+// Contains reports whether y is in the image.
+func (s *ImageSearcher) Contains(y bitvec.BitVec) bool {
+	m := s.a.Rows()
+	if y.Len() != m {
+		panic("gf2: width mismatch")
+	}
+	sys := s.base.Clone()
+	for i := 0; i < m; i++ {
+		sys.Add(s.a.Row(i), y.Get(i) != s.b.Get(i))
+		if !sys.Consistent() {
+			return false
+		}
+	}
+	return true
+}

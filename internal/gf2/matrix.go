@@ -1,0 +1,111 @@
+// Package gf2 implements linear algebra over GF(2): matrices, incremental
+// Gaussian elimination with right-hand sides, solution enumeration, and
+// lexicographic search over affine images. These primitives implement the
+// prefix-searching strategy of Propositions 2 and 4 of the paper.
+package gf2
+
+import "mcf0/internal/bitvec"
+
+// Matrix is a dense boolean matrix stored row-wise.
+type Matrix struct {
+	rows []bitvec.BitVec
+	cols int
+}
+
+// NewMatrix returns an empty matrix with the given number of columns.
+func NewMatrix(cols int) *Matrix {
+	if cols < 0 {
+		panic("gf2: negative column count")
+	}
+	return &Matrix{cols: cols}
+}
+
+// RandomMatrix returns a rows×cols matrix with i.i.d. uniform entries drawn
+// from next.
+func RandomMatrix(rows, cols int, next func() uint64) *Matrix {
+	m := NewMatrix(cols)
+	for i := 0; i < rows; i++ {
+		m.AddRow(bitvec.Random(cols, next))
+	}
+	return m
+}
+
+// AddRow appends a row. The row width must equal the column count.
+func (m *Matrix) AddRow(r bitvec.BitVec) {
+	if r.Len() != m.cols {
+		panic("gf2: row width mismatch")
+	}
+	m.rows = append(m.rows, r)
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return len(m.rows) }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns row i (shared storage; callers must not mutate).
+func (m *Matrix) Row(i int) bitvec.BitVec { return m.rows[i] }
+
+// MulVec returns the matrix-vector product Mx over GF(2).
+func (m *Matrix) MulVec(x bitvec.BitVec) bitvec.BitVec {
+	if x.Len() != m.cols {
+		panic("gf2: vector width mismatch")
+	}
+	y := bitvec.New(len(m.rows))
+	for i, r := range m.rows {
+		if r.Dot(x) {
+			y.Set(i, true)
+		}
+	}
+	return y
+}
+
+// SubMatrix returns a fresh matrix consisting of rows [0, k).
+func (m *Matrix) SubMatrix(k int) *Matrix {
+	if k > len(m.rows) {
+		panic("gf2: submatrix rows out of range")
+	}
+	s := NewMatrix(m.cols)
+	s.rows = append(s.rows, m.rows[:k]...)
+	return s
+}
+
+// SelectColumns returns a fresh matrix keeping only the columns for which
+// keep[j] is true, in order. Used to restrict a hash matrix to the free
+// variables of a DNF term.
+func (m *Matrix) SelectColumns(keep []bool) *Matrix {
+	if len(keep) != m.cols {
+		panic("gf2: keep mask width mismatch")
+	}
+	w := 0
+	for _, k := range keep {
+		if k {
+			w++
+		}
+	}
+	s := NewMatrix(w)
+	for _, r := range m.rows {
+		nr := bitvec.New(w)
+		j := 0
+		for c := 0; c < m.cols; c++ {
+			if keep[c] {
+				if r.Get(c) {
+					nr.Set(j, true)
+				}
+				j++
+			}
+		}
+		s.AddRow(nr)
+	}
+	return s
+}
+
+// Rank computes the GF(2) rank.
+func (m *Matrix) Rank() int {
+	s := NewSystem(m.cols)
+	for _, r := range m.rows {
+		s.Add(r, false)
+	}
+	return s.Rank()
+}

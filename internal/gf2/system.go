@@ -1,0 +1,238 @@
+package gf2
+
+import (
+	"math/bits"
+
+	"mcf0/internal/bitvec"
+)
+
+// System is an online Gaussian-elimination solver for linear systems over
+// GF(2). Rows (a, rhs) meaning a·x = rhs are added one at a time; the system
+// maintains a reduced row-echelon basis and a consistency flag. Adding rows
+// is O(rank · n/64). The zero value is not usable; call NewSystem.
+type System struct {
+	cols         int
+	pivots       []pivotRow // sorted by ascending pivot column
+	inconsistent bool
+}
+
+type pivotRow struct {
+	a   bitvec.BitVec
+	rhs bool
+	col int
+}
+
+// NewSystem returns an empty (trivially consistent) system over cols
+// variables.
+func NewSystem(cols int) *System {
+	return &System{cols: cols}
+}
+
+// Clone returns an independent copy; subsequent Adds to either do not
+// affect the other.
+func (s *System) Clone() *System {
+	c := &System{cols: s.cols, inconsistent: s.inconsistent}
+	c.pivots = make([]pivotRow, len(s.pivots))
+	for i, p := range s.pivots {
+		c.pivots[i] = pivotRow{a: p.a.Clone(), rhs: p.rhs, col: p.col}
+	}
+	return c
+}
+
+// Cols returns the number of variables.
+func (s *System) Cols() int { return s.cols }
+
+// Rank returns the rank of the rows added so far.
+func (s *System) Rank() int { return len(s.pivots) }
+
+// Consistent reports whether the system still has at least one solution.
+func (s *System) Consistent() bool { return !s.inconsistent }
+
+// reduce eliminates a against the current basis, returning the reduced row
+// and reduced rhs. It does not mutate the system.
+func (s *System) reduce(a bitvec.BitVec, rhs bool) (bitvec.BitVec, bool) {
+	r := a.Clone()
+	for _, p := range s.pivots {
+		if r.Get(p.col) {
+			r.XorInPlace(p.a)
+			rhs = rhs != p.rhs
+		}
+	}
+	return r, rhs
+}
+
+// Residual returns the reduced form of (a, rhs) against the current basis
+// without mutating the system. If the reduced row is zero, the equation is
+// implied (rhs false) or contradicted (rhs true).
+func (s *System) Residual(a bitvec.BitVec, rhs bool) (bitvec.BitVec, bool) {
+	if a.Len() != s.cols {
+		panic("gf2: row width mismatch")
+	}
+	return s.reduce(a, rhs)
+}
+
+// Add inserts the equation a·x = rhs, updating the basis. If the equation
+// contradicts the existing rows the system becomes permanently inconsistent.
+func (s *System) Add(a bitvec.BitVec, rhs bool) {
+	if a.Len() != s.cols {
+		panic("gf2: row width mismatch")
+	}
+	if s.inconsistent {
+		return
+	}
+	r, rr := s.reduce(a, rhs)
+	col := firstSetBit(r)
+	if col < 0 {
+		if rr {
+			s.inconsistent = true
+		}
+		return
+	}
+	// Back-eliminate the new pivot column from existing rows to keep the
+	// basis fully reduced (RREF), which makes Solve and NullBasis direct
+	// reads.
+	for i := range s.pivots {
+		if s.pivots[i].a.Get(col) {
+			s.pivots[i].a.XorInPlace(r)
+			s.pivots[i].rhs = s.pivots[i].rhs != rr
+		}
+	}
+	// Insert keeping pivots sorted by column.
+	idx := len(s.pivots)
+	for i, p := range s.pivots {
+		if p.col > col {
+			idx = i
+			break
+		}
+	}
+	s.pivots = append(s.pivots, pivotRow{})
+	copy(s.pivots[idx+1:], s.pivots[idx:])
+	s.pivots[idx] = pivotRow{a: r, rhs: rr, col: col}
+}
+
+// Solve returns a particular solution with all free variables set to zero.
+// The second result is false if the system is inconsistent.
+func (s *System) Solve() (bitvec.BitVec, bool) {
+	if s.inconsistent {
+		return bitvec.BitVec{}, false
+	}
+	x := bitvec.New(s.cols)
+	for _, p := range s.pivots {
+		if p.rhs {
+			x.Set(p.col, true)
+		}
+	}
+	return x, true
+}
+
+// Equation is one row of a linear system: A·x = RHS.
+type Equation struct {
+	A   bitvec.BitVec
+	RHS bool
+}
+
+// Equations returns the reduced basis rows. Their solution set equals that
+// of all rows ever added (when consistent); used to translate a system into
+// XOR constraints for a SAT solver. Callers must not mutate the vectors.
+func (s *System) Equations() []Equation {
+	eqs := make([]Equation, len(s.pivots))
+	for i, p := range s.pivots {
+		eqs[i] = Equation{A: p.a, RHS: p.rhs}
+	}
+	return eqs
+}
+
+// FreeDim returns the dimension of the solution space (number of free
+// variables); meaningful only when consistent.
+func (s *System) FreeDim() int { return s.cols - len(s.pivots) }
+
+// NullBasis returns a basis of the homogeneous solution space {x : Ax = 0}.
+func (s *System) NullBasis() []bitvec.BitVec {
+	isPivot := make([]bool, s.cols)
+	pivotAt := make(map[int]pivotRow, len(s.pivots))
+	for _, p := range s.pivots {
+		isPivot[p.col] = true
+		pivotAt[p.col] = p
+	}
+	var basis []bitvec.BitVec
+	for f := 0; f < s.cols; f++ {
+		if isPivot[f] {
+			continue
+		}
+		v := bitvec.New(s.cols)
+		v.Set(f, true)
+		for _, p := range s.pivots {
+			if p.a.Get(f) {
+				v.Set(p.col, true)
+			}
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// EnumerateSolutions visits solutions of the system, up to limit of them
+// (limit < 0 means all; beware exponential counts). visit returning false
+// stops the walk early. The walk uses a Gray-code order over the null-space
+// coordinates so each successive solution differs by one basis vector XOR.
+func (s *System) EnumerateSolutions(limit int, visit func(bitvec.BitVec) bool) {
+	x0, ok := s.Solve()
+	if !ok {
+		return
+	}
+	basis := s.NullBasis()
+	d := len(basis)
+	if limit == 0 {
+		return
+	}
+	cur := x0.Clone()
+	if !visit(cur.Clone()) {
+		return
+	}
+	count := 1
+	if d >= 63 {
+		d = 62 // enumeration beyond 2^62 is never requested with finite limit
+	}
+	var total uint64 = 1 << uint(d)
+	for i := uint64(1); i < total; i++ {
+		if limit >= 0 && count >= limit {
+			return
+		}
+		// Gray code: flip the basis vector at the index of the lowest set
+		// bit of i.
+		j := trailingZeros64(i)
+		cur.XorInPlace(basis[j])
+		if !visit(cur.Clone()) {
+			return
+		}
+		count++
+	}
+}
+
+// SolutionCountCapped returns min(cap, number of solutions). cap must be
+// non-negative.
+func (s *System) SolutionCountCapped(cap int) int {
+	if s.inconsistent {
+		return 0
+	}
+	d := s.FreeDim()
+	if d >= 63 {
+		return cap
+	}
+	n := uint64(1) << uint(d)
+	if uint64(cap) < n {
+		return cap
+	}
+	return int(n)
+}
+
+func firstSetBit(v bitvec.BitVec) int {
+	for i := 0; i < v.Len(); i++ {
+		if v.Get(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func trailingZeros64(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,316 @@
+// Package hash implements the hash function families used throughout the
+// paper: the 2-wise independent Toeplitz family H_Toeplitz(n, m), the 2-wise
+// independent random-matrix family H_xor(n, m), and the s-wise independent
+// polynomial family H_{s-wise}(n, n) over GF(2^n).
+//
+// Linear families expose their matrix form h(x) = Ax + b so that
+// model-counting algorithms can turn "h_m(x) = 0^m" into XOR constraints,
+// and the m-th prefix slice h_m (the first m output bits) is available as
+// required by the prefix-slicing construction of Section 2 of the paper.
+package hash
+
+import (
+	"mcf0/internal/bitvec"
+	"mcf0/internal/gf2"
+	"mcf0/internal/gf2poly"
+)
+
+// Func is a hash function h : {0,1}^n → {0,1}^m.
+type Func interface {
+	Eval(x bitvec.BitVec) bitvec.BitVec
+	InBits() int
+	OutBits() int
+}
+
+// Family is a distribution over hash functions; Draw samples one using next
+// as the entropy source.
+type Family interface {
+	Draw(next func() uint64) Func
+	InBits() int
+	OutBits() int
+	// Independence returns the k for which the family is k-wise
+	// independent.
+	Independence() int
+	// Name identifies the family in benchmarks and logs.
+	Name() string
+}
+
+// Linear is a hash function of the form h(x) = Ax + b over GF(2).
+type Linear struct {
+	A *gf2.Matrix
+	B bitvec.BitVec
+}
+
+// NewLinear wraps a matrix and offset as a hash function.
+func NewLinear(a *gf2.Matrix, b bitvec.BitVec) *Linear {
+	if b.Len() != a.Rows() {
+		panic("hash: offset width must equal row count")
+	}
+	return &Linear{A: a, B: b}
+}
+
+// Eval returns Ax + b.
+func (l *Linear) Eval(x bitvec.BitVec) bitvec.BitVec {
+	return l.A.MulVec(x).Xor(l.B)
+}
+
+// InBits returns n.
+func (l *Linear) InBits() int { return l.A.Cols() }
+
+// OutBits returns m.
+func (l *Linear) OutBits() int { return l.A.Rows() }
+
+// Prefix returns the m-th prefix slice h_m, consisting of the first m
+// output bits: h_m(x) = A_m·x + b_m where A_m keeps the first m rows.
+func (l *Linear) Prefix(m int) *Linear {
+	if m > l.A.Rows() {
+		panic("hash: prefix longer than output")
+	}
+	return &Linear{A: l.A.SubMatrix(m), B: l.B.Prefix(m)}
+}
+
+// PrefixIsZero reports whether the first m bits of h(x) are all zero,
+// without materialising the full output.
+func (l *Linear) PrefixIsZero(x bitvec.BitVec, m int) bool {
+	for i := 0; i < m; i++ {
+		if l.A.Row(i).Dot(x) != l.B.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// ZeroPrefixSystem returns the linear system over x expressing
+// h_m(x) = 0^m, i.e. A_m·x = b_m. Model counters conjoin this with φ.
+func (l *Linear) ZeroPrefixSystem(m int) *gf2.System {
+	sys := gf2.NewSystem(l.A.Cols())
+	for i := 0; i < m; i++ {
+		sys.Add(l.A.Row(i), l.B.Get(i))
+	}
+	return sys
+}
+
+// PrefixEqualSystem returns the linear system expressing h_m(x) = target,
+// the random-cell generalisation of ZeroPrefixSystem used by the sampler.
+func (l *Linear) PrefixEqualSystem(m int, target bitvec.BitVec) *gf2.System {
+	if target.Len() != m {
+		panic("hash: target width must equal prefix length")
+	}
+	sys := gf2.NewSystem(l.A.Cols())
+	for i := 0; i < m; i++ {
+		sys.Add(l.A.Row(i), target.Get(i) != l.B.Get(i))
+	}
+	return sys
+}
+
+// SuffixZeroSystem returns the linear system over x expressing "the last t
+// output bits of h(x) are zero", i.e. TrailZero(h(x)) ≥ t. For linear
+// hashes the trailing-zero predicate of the Estimation/Flajolet–Martin
+// algorithms is itself a set of XOR constraints.
+func (l *Linear) SuffixZeroSystem(t int) *gf2.System {
+	m := l.A.Rows()
+	if t > m {
+		panic("hash: suffix longer than output")
+	}
+	sys := gf2.NewSystem(l.A.Cols())
+	for i := m - t; i < m; i++ {
+		sys.Add(l.A.Row(i), l.B.Get(i))
+	}
+	return sys
+}
+
+// Toeplitz is the family H_Toeplitz(n, m): h(x) = Ax + b with A a uniformly
+// random Toeplitz matrix (constant along diagonals, m+n−1 random bits) and
+// b uniform. 2-wise independent; representable in Θ(n+m) bits.
+type Toeplitz struct{ n, m int }
+
+// NewToeplitz returns the Toeplitz family mapping n bits to m bits.
+func NewToeplitz(n, m int) Toeplitz { return Toeplitz{n: n, m: m} }
+
+// Draw samples a function.
+func (t Toeplitz) Draw(next func() uint64) Func {
+	diag := bitvec.Random(t.n+t.m-1, next)
+	a := gf2.NewMatrix(t.n)
+	for i := 0; i < t.m; i++ {
+		row := bitvec.New(t.n)
+		for j := 0; j < t.n; j++ {
+			// A[i][j] = diag[i-j+(n-1)], constant along diagonals.
+			if diag.Get(i - j + t.n - 1) {
+				row.Set(j, true)
+			}
+		}
+		a.AddRow(row)
+	}
+	return NewLinear(a, bitvec.Random(t.m, next))
+}
+
+// InBits returns n.
+func (t Toeplitz) InBits() int { return t.n }
+
+// OutBits returns m.
+func (t Toeplitz) OutBits() int { return t.m }
+
+// Independence returns 2.
+func (t Toeplitz) Independence() int { return 2 }
+
+// Name returns "toeplitz".
+func (t Toeplitz) Name() string { return "toeplitz" }
+
+// Xor is the family H_xor(n, m): h(x) = Ax + b with every entry of A and b
+// uniform and independent. 2-wise independent; Θ(n·m) bits of
+// representation.
+type Xor struct{ n, m int }
+
+// NewXor returns the random-matrix family mapping n bits to m bits.
+func NewXor(n, m int) Xor { return Xor{n: n, m: m} }
+
+// Draw samples a function.
+func (x Xor) Draw(next func() uint64) Func {
+	a := gf2.RandomMatrix(x.m, x.n, next)
+	return NewLinear(a, bitvec.Random(x.m, next))
+}
+
+// InBits returns n.
+func (x Xor) InBits() int { return x.n }
+
+// OutBits returns m.
+func (x Xor) OutBits() int { return x.m }
+
+// Independence returns 2.
+func (x Xor) Independence() int { return 2 }
+
+// Name returns "xor".
+func (x Xor) Name() string { return "xor" }
+
+// Sparse is the sparse-XOR family of the paper's §6 "Sparse XORs"
+// direction: h(x) = Ax + b where each entry of A is 1 independently with
+// probability Density (dense families use 1/2). Sparse rows make the XOR
+// constraints conjoined with φ much cheaper for SAT solvers, at the price
+// of losing exact pairwise independence — the Meel–Akshay line of work
+// shows density Θ(log m / m) suffices for counting; this implementation
+// exposes the knob for the A4 ablation.
+type Sparse struct {
+	n, m    int
+	density float64
+}
+
+// NewSparse returns the sparse family mapping n bits to m bits with the
+// given row density in (0, 1].
+func NewSparse(n, m int, density float64) Sparse {
+	if density <= 0 || density > 1 {
+		panic("hash: sparse density must be in (0, 1]")
+	}
+	return Sparse{n: n, m: m, density: density}
+}
+
+// Draw samples a function. Rows that come out empty are redrawn once with
+// a single random entry so no output bit is constant.
+func (s Sparse) Draw(next func() uint64) Func {
+	a := gf2.NewMatrix(s.n)
+	// Threshold for "bit set" on a uniform 64-bit draw.
+	limit := uint64(s.density * float64(^uint64(0)))
+	for i := 0; i < s.m; i++ {
+		row := bitvec.New(s.n)
+		for j := 0; j < s.n; j++ {
+			if next() <= limit {
+				row.Set(j, true)
+			}
+		}
+		if row.IsZero() {
+			row.Set(int(next()%uint64(s.n)), true)
+		}
+		a.AddRow(row)
+	}
+	return NewLinear(a, bitvec.Random(s.m, next))
+}
+
+// InBits returns n.
+func (s Sparse) InBits() int { return s.n }
+
+// OutBits returns m.
+func (s Sparse) OutBits() int { return s.m }
+
+// Independence returns 1: sparse rows are not pairwise independent; the
+// family trades uniformity for solver-friendliness (§6).
+func (s Sparse) Independence() int { return 1 }
+
+// Name returns "sparse".
+func (s Sparse) Name() string { return "sparse" }
+
+// Density returns the row density.
+func (s Sparse) Density() float64 { return s.density }
+
+// Poly is the s-wise independent family H_{s-wise}(n, n): a uniformly
+// random polynomial of degree < s over GF(2^n), evaluated at the input
+// interpreted as a field element. Requires n ≤ 64.
+type Poly struct {
+	n, s  int
+	field *gf2poly.Field
+}
+
+// NewPoly returns the s-wise independent polynomial family over GF(2^n).
+func NewPoly(n, s int) Poly {
+	if n > 64 {
+		panic("hash: polynomial family requires n ≤ 64")
+	}
+	if s < 1 {
+		panic("hash: independence must be ≥ 1")
+	}
+	return Poly{n: n, s: s, field: gf2poly.NewField(n)}
+}
+
+// Draw samples a function.
+func (p Poly) Draw(next func() uint64) Func {
+	mask := ^uint64(0)
+	if p.n < 64 {
+		mask = (1 << uint(p.n)) - 1
+	}
+	coeffs := make([]uint64, p.s)
+	for i := range coeffs {
+		coeffs[i] = next() & mask
+	}
+	return &polyFunc{n: p.n, field: p.field, coeffs: coeffs}
+}
+
+// InBits returns n.
+func (p Poly) InBits() int { return p.n }
+
+// OutBits returns n.
+func (p Poly) OutBits() int { return p.n }
+
+// Independence returns s.
+func (p Poly) Independence() int { return p.s }
+
+// Name returns "poly".
+func (p Poly) Name() string { return "poly" }
+
+type polyFunc struct {
+	n      int
+	field  *gf2poly.Field
+	coeffs []uint64
+}
+
+func (f *polyFunc) Eval(x bitvec.BitVec) bitvec.BitVec {
+	if x.Len() != f.n {
+		panic("hash: input width mismatch")
+	}
+	y := f.field.EvalPoly(f.coeffs, x.Uint64())
+	return bitvec.FromUint64(y, f.n)
+}
+
+func (f *polyFunc) InBits() int  { return f.n }
+func (f *polyFunc) OutBits() int { return f.n }
+
+// Coefficients exposes the polynomial's coefficients (coeffs[i] multiplies
+// x^i) for oracle encodings; callers must not mutate the slice.
+func (f *polyFunc) Coefficients() []uint64 { return f.coeffs }
+
+// PolyCoefficients extracts the coefficient vector from a function drawn
+// from a Poly family, and reports whether f is such a function.
+func PolyCoefficients(f Func) ([]uint64, bool) {
+	pf, ok := f.(*polyFunc)
+	if !ok {
+		return nil, false
+	}
+	return pf.Coefficients(), true
+}

@@ -1,0 +1,285 @@
+// Package oracle abstracts the "NP oracle" of the paper behind interfaces
+// the model-counting algorithms consume, with per-query metering so
+// experiments can report oracle-call counts (the paper's complexity
+// currency) independent of the solver's wall-clock speed.
+//
+// Three backends are provided:
+//   - CNF: a CDCL+XOR SAT solver (internal/sat) — the practical substitute
+//     for the NP oracle, as in ApproxMC implementations;
+//   - DNF: polynomial-time linear algebra per term (no NP oracle needed,
+//     matching the FPRAS claims of Theorems 2 and 3);
+//   - Exhaustive: brute-force enumeration, the ground-truth backend used to
+//     validate the other two and to answer queries (like Proposition 3's
+//     trailing-zero oracle over DNF inputs) with no known efficient
+//     implementation.
+package oracle
+
+import (
+	"mcf0/internal/bitvec"
+	"mcf0/internal/formula"
+	"mcf0/internal/gf2"
+	"mcf0/internal/hash"
+	"mcf0/internal/sat"
+)
+
+// Source enumerates solutions of φ conjoined with a linear (XOR) constraint
+// system over the formula's variables. It is the primitive behind
+// BoundedSAT (Proposition 1) and FindMin's prefix search (Proposition 2).
+type Source interface {
+	// NVars returns the variable count n.
+	NVars() int
+	// Enumerate visits up to limit distinct solutions of φ ∧ cons
+	// (limit < 0 for all); visit returning false stops early. It returns
+	// the number of solutions visited. cons may be nil (no constraints).
+	Enumerate(cons *gf2.System, limit int, visit func(bitvec.BitVec) bool) int
+	// Queries returns the cumulative number of NP-oracle invocations
+	// (SAT calls for the CNF backend; per-term linear solves for DNF).
+	Queries() int64
+}
+
+// TrailingZeroTester answers Proposition 3's oracle query: is there an
+// x ⊨ φ such that h(x) ends in at least t zero bits?
+type TrailingZeroTester interface {
+	ExistsTrailingZeros(h hash.Func, t int) bool
+	Queries() int64
+}
+
+// CNFSource is the SAT-backed oracle for CNF formulas.
+type CNFSource struct {
+	cnf     *formula.CNF
+	queries int64
+}
+
+// NewCNFSource wraps a CNF formula.
+func NewCNFSource(c *formula.CNF) *CNFSource { return &CNFSource{cnf: c} }
+
+// NVars returns the variable count.
+func (s *CNFSource) NVars() int { return s.cnf.N }
+
+// Queries returns the number of SAT-solver invocations so far.
+func (s *CNFSource) Queries() int64 { return s.queries }
+
+// Enumerate builds a fresh CDCL solver with φ's clauses plus cons as native
+// XOR rows and enumerates models with blocking clauses. Each model costs
+// one SAT call, plus one final UNSAT call (mirroring the paper's
+// O(p) NP calls for BoundedSAT).
+func (s *CNFSource) Enumerate(cons *gf2.System, limit int, visit func(bitvec.BitVec) bool) int {
+	if cons != nil && !cons.Consistent() {
+		return 0
+	}
+	solver := sat.New(s.cnf.N)
+	for _, cl := range s.cnf.Clauses {
+		if !solver.AddClause([]formula.Lit(cl)) {
+			return 0
+		}
+	}
+	if cons != nil {
+		for _, eq := range cons.Equations() {
+			vars := make([]int, 0, eq.A.PopCount())
+			for i := 0; i < eq.A.Len(); i++ {
+				if eq.A.Get(i) {
+					vars = append(vars, i)
+				}
+			}
+			if !solver.AddXOR(vars, eq.RHS) {
+				return 0
+			}
+		}
+	}
+	count := 0
+	for limit < 0 || count < limit {
+		s.queries++
+		model, ok := solver.Solve()
+		if !ok {
+			break
+		}
+		count++
+		if !visit(model) {
+			break
+		}
+		if !solver.BlockModel(model) {
+			break
+		}
+	}
+	return count
+}
+
+// DNFSource is the polynomial-time oracle for DNF formulas: the solutions
+// of a term conjoined with linear constraints form an affine subspace,
+// enumerable by Gaussian elimination. Solutions appearing in multiple terms
+// are deduplicated.
+type DNFSource struct {
+	dnf     *formula.DNF
+	queries int64
+}
+
+// NewDNFSource wraps a DNF formula.
+func NewDNFSource(d *formula.DNF) *DNFSource { return &DNFSource{dnf: d} }
+
+// NVars returns the variable count.
+func (s *DNFSource) NVars() int { return s.dnf.N }
+
+// Queries returns the number of per-term linear-system solves.
+func (s *DNFSource) Queries() int64 { return s.queries }
+
+// Enumerate visits distinct solutions of φ ∧ cons, term by term.
+func (s *DNFSource) Enumerate(cons *gf2.System, limit int, visit func(bitvec.BitVec) bool) int {
+	if cons != nil && !cons.Consistent() {
+		return 0
+	}
+	if limit == 0 {
+		return 0
+	}
+	seen := map[string]bool{}
+	count := 0
+	stop := false
+	for _, t := range s.dnf.Terms {
+		if stop {
+			break
+		}
+		sys := s.termSystem(t, cons)
+		s.queries++
+		if sys == nil || !sys.Consistent() {
+			continue
+		}
+		sys.EnumerateSolutions(-1, func(x bitvec.BitVec) bool {
+			if seen[x.Key()] {
+				return true
+			}
+			seen[x.Key()] = true
+			count++
+			if !visit(x) {
+				stop = true
+				return false
+			}
+			if limit >= 0 && count >= limit {
+				stop = true
+				return false
+			}
+			return true
+		})
+	}
+	return count
+}
+
+// termSystem builds the linear system over x equivalent to "x ⊨ term and
+// x satisfies cons"; nil when the term is internally contradictory.
+func (s *DNFSource) termSystem(t formula.Term, cons *gf2.System) *gf2.System {
+	norm, ok := t.Normalize()
+	if !ok {
+		return nil
+	}
+	var sys *gf2.System
+	if cons != nil {
+		sys = cons.Clone()
+	} else {
+		sys = gf2.NewSystem(s.dnf.N)
+	}
+	for _, l := range norm {
+		unit := bitvec.New(s.dnf.N)
+		unit.Set(l.Var, true)
+		sys.Add(unit, !l.Neg)
+	}
+	return sys
+}
+
+// Exhaustive is the ground-truth backend: full enumeration over {0,1}^n.
+// It implements both Source and TrailingZeroTester. Practical for n ≤ 24.
+type Exhaustive struct {
+	n       int
+	eval    func(bitvec.BitVec) bool
+	queries int64
+	sols    []bitvec.BitVec // lazily materialised solution list
+	solsSet bool
+}
+
+// NewExhaustive wraps a predicate over n-bit assignments.
+func NewExhaustive(n int, eval func(bitvec.BitVec) bool) *Exhaustive {
+	if n > 30 {
+		panic("oracle: exhaustive backend beyond 2^30")
+	}
+	return &Exhaustive{n: n, eval: eval}
+}
+
+// NVars returns the variable count.
+func (e *Exhaustive) NVars() int { return e.n }
+
+// Queries returns the number of full sweeps performed.
+func (e *Exhaustive) Queries() int64 { return e.queries }
+
+// Enumerate visits solutions in increasing numeric order.
+func (e *Exhaustive) Enumerate(cons *gf2.System, limit int, visit func(bitvec.BitVec) bool) int {
+	e.queries++
+	if cons != nil && !cons.Consistent() {
+		return 0
+	}
+	count := 0
+	for v := uint64(0); v < 1<<uint(e.n); v++ {
+		if limit >= 0 && count >= limit {
+			break
+		}
+		x := bitvec.FromUint64(v, e.n)
+		if !e.eval(x) {
+			continue
+		}
+		if cons != nil && !satisfies(cons, x) {
+			continue
+		}
+		count++
+		if !visit(x) {
+			break
+		}
+	}
+	return count
+}
+
+// solutions materialises Sol(φ) once so that repeated hash queries scan
+// only the solution list instead of the whole universe.
+func (e *Exhaustive) solutions() []bitvec.BitVec {
+	if !e.solsSet {
+		for v := uint64(0); v < 1<<uint(e.n); v++ {
+			x := bitvec.FromUint64(v, e.n)
+			if e.eval(x) {
+				e.sols = append(e.sols, x)
+			}
+		}
+		e.solsSet = true
+	}
+	return e.sols
+}
+
+// ExistsTrailingZeros scans the solutions for one whose hash ends in ≥ t
+// zeros.
+func (e *Exhaustive) ExistsTrailingZeros(h hash.Func, t int) bool {
+	e.queries++
+	for _, x := range e.solutions() {
+		if h.Eval(x).TrailingZeros() >= t {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxTrailingZeros answers the whole FindMaxRange question in one sweep —
+// the fast path counting.FindMaxRange uses when available (ground-truth
+// backends need not pay the binary search's repeated scans). Returns −1
+// when φ is unsatisfiable.
+func (e *Exhaustive) MaxTrailingZeros(h hash.Func) int {
+	e.queries++
+	best := -1
+	for _, x := range e.solutions() {
+		if tz := h.Eval(x).TrailingZeros(); tz > best {
+			best = tz
+		}
+	}
+	return best
+}
+
+func satisfies(cons *gf2.System, x bitvec.BitVec) bool {
+	for _, eq := range cons.Equations() {
+		if eq.A.Dot(x) != eq.RHS {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,665 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with native XOR-constraint support. It is the NP-oracle substrate
+// for the hashing-based model counters: queries of the form
+// φ ∧ (h_m(x) = 0^m) conjoin a CNF with XOR (GF(2)) constraints, exactly
+// the CNF-XOR instances that motivated solvers like CryptoMiniSat. Here the
+// XOR rows are propagated natively with a two-watch scheme, so hash
+// constraints never have to be expanded into exponentially many clauses.
+//
+// The solver uses two-watched-literal propagation, VSIDS-style variable
+// activities, first-UIP conflict analysis, and Luby restarts. It is not
+// safe for concurrent use.
+package sat
+
+import (
+	"mcf0/internal/bitvec"
+	"mcf0/internal/formula"
+	"mcf0/internal/gf2"
+)
+
+// lbool is a three-valued boolean.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+// Literal encoding: positive literal of variable v is 2v, negative 2v+1.
+func mkLit(v int, neg bool) int {
+	l := v << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+func litVar(l int) int   { return l >> 1 }
+func litNeg(l int) int   { return l ^ 1 }
+func litSign(l int) bool { return l&1 == 1 }
+
+// Reason markers: reasonNone for decisions/unassigned; otherwise a clause
+// index, or xorReasonBase+idx for XOR-implied assignments.
+const reasonNone = -1
+
+type clause struct {
+	lits    []int
+	learned bool
+}
+
+type xorRow struct {
+	vars []int // sorted, distinct
+	rhs  bool
+	// w1, w2 are indices into vars of the two watched positions.
+	w1, w2 int
+}
+
+// Stats counts solver work, used by the experiment harness.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Learned      int64
+	Restarts     int64
+}
+
+// Solver is a CDCL SAT solver over a fixed set of variables.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	xors    []*xorRow
+
+	watches    [][]int // literal → clause indices watching it
+	xorWatches [][]int // variable → xor indices watching it
+	// xorSys keeps every added XOR row in reduced echelon form. Reducing
+	// new rows against it detects XOR-level unsatisfiability immediately
+	// (plain clause learning needs exponential resolution proofs on dense
+	// XOR systems — the very observation behind Gaussian-elimination
+	// solvers like CryptoMiniSat/BIRD) and gives each watched row a unique
+	// pivot variable, which keeps propagation chains short.
+	xorSys *gf2.System
+
+	assign   []lbool
+	level    []int
+	reason   []int
+	phase    []bool // saved phase for decision polarity
+	activity []float64
+	varInc   float64
+
+	trail    []int
+	trailLim []int
+	qhead    int
+
+	unsat bool // established at level 0
+
+	seen  []bool // scratch for conflict analysis
+	stats Stats
+}
+
+// New returns a solver over nVars variables, all unassigned.
+func New(nVars int) *Solver {
+	s := &Solver{
+		nVars:      nVars,
+		watches:    make([][]int, 2*nVars),
+		xorWatches: make([][]int, nVars),
+		xorSys:     gf2.NewSystem(nVars),
+		assign:     make([]lbool, nVars),
+		level:      make([]int, nVars),
+		reason:     make([]int, nVars),
+		phase:      make([]bool, nVars),
+		activity:   make([]float64, nVars),
+		varInc:     1,
+		seen:       make([]bool, nVars),
+	}
+	for i := range s.reason {
+		s.reason[i] = reasonNone
+	}
+	return s
+}
+
+// NVars returns the variable count.
+func (s *Solver) NVars() int { return s.nVars }
+
+// Stats returns a copy of the work counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+func (s *Solver) value(l int) lbool {
+	v := s.assign[litVar(l)]
+	if v == lUndef {
+		return lUndef
+	}
+	if litSign(l) {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a disjunction of literals. Returns false if the formula is
+// already unsatisfiable at level 0. Must be called at decision level 0
+// (true initially and after Solve returns).
+func (s *Solver) AddClause(lits []formula.Lit) bool {
+	enc := make([]int, len(lits))
+	for i, l := range lits {
+		if l.Var < 0 || l.Var >= s.nVars {
+			panic("sat: literal variable out of range")
+		}
+		enc[i] = mkLit(l.Var, l.Neg)
+	}
+	return s.addClauseEnc(enc, false)
+}
+
+func (s *Solver) addClauseEnc(lits []int, learned bool) bool {
+	if s.unsat {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Simplify: drop false literals, detect satisfied/tautological clauses,
+	// dedupe.
+	out := lits[:0:0]
+	seen := map[int]bool{}
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		if seen[l] {
+			continue
+		}
+		if seen[litNeg(l)] {
+			return true // tautology
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.enqueue(out[0], reasonNone)
+		if s.propagate() != confNone {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, &clause{lits: out, learned: learned})
+	s.watches[out[0]] = append(s.watches[out[0]], idx)
+	s.watches[out[1]] = append(s.watches[out[1]], idx)
+	return true
+}
+
+// AddXOR adds the GF(2) constraint vars[0] ⊕ vars[1] ⊕ … = rhs. Duplicate
+// variables cancel. Returns false if the formula becomes unsatisfiable.
+func (s *Solver) AddXOR(vars []int, rhs bool) bool {
+	if s.unsat {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddXOR above decision level 0")
+	}
+	// Fold duplicate variables, then reduce against the echelon basis of
+	// all previously added rows: a linearly dependent row is either
+	// redundant or an immediate contradiction.
+	count := map[int]int{}
+	for _, v := range vars {
+		if v < 0 || v >= s.nVars {
+			panic("sat: XOR variable out of range")
+		}
+		count[v]++
+	}
+	vec := bitvec.New(s.nVars)
+	for v, c := range count {
+		if c%2 == 1 {
+			vec.Set(v, true)
+		}
+	}
+	red, rrhs := s.xorSys.Residual(vec, rhs)
+	if red.IsZero() {
+		if rrhs {
+			s.unsat = true
+			return false
+		}
+		return true // implied by earlier rows
+	}
+	s.xorSys.Add(vec, rhs)
+	// Fold level-0 assignments into the reduced row before watching it.
+	var vs []int
+	for v := 0; v < s.nVars; v++ {
+		if !red.Get(v) {
+			continue
+		}
+		switch s.assign[v] {
+		case lTrue:
+			rrhs = !rrhs
+		case lFalse:
+		default:
+			vs = append(vs, v)
+		}
+	}
+	rhs = rrhs
+	switch len(vs) {
+	case 0:
+		if rhs {
+			s.unsat = true
+			return false
+		}
+		return true
+	case 1:
+		s.enqueue(mkLit(vs[0], !rhs), reasonNone)
+		if s.propagate() != confNone {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	idx := len(s.xors)
+	row := &xorRow{vars: vs, rhs: rhs, w1: 0, w2: 1}
+	s.xors = append(s.xors, row)
+	s.xorWatches[vs[0]] = append(s.xorWatches[vs[0]], idx)
+	s.xorWatches[vs[1]] = append(s.xorWatches[vs[1]], idx)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue records the assignment implied by literal l with the given
+// reason. The caller must ensure l is currently unassigned.
+func (s *Solver) enqueue(l int, reason int) {
+	v := litVar(l)
+	if litSign(l) {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := litVar(s.trail[i])
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = reasonNone
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// conflict descriptor: confNone, a clause index, or an encoded XOR index.
+const (
+	confNone    = -1
+	xorConfBase = 1 << 30
+)
+
+// propagate performs unit propagation over clauses and XOR rows until
+// fixpoint or conflict. Returns a conflict descriptor.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		if conf := s.propagateClauses(litNeg(l)); conf != confNone {
+			return conf
+		}
+		if conf := s.propagateXORs(litVar(l)); conf != confNone {
+			return conf
+		}
+	}
+	return confNone
+}
+
+// propagateClauses visits clauses watching the now-false literal fl.
+func (s *Solver) propagateClauses(fl int) int {
+	ws := s.watches[fl]
+	kept := ws[:0]
+	for wi := 0; wi < len(ws); wi++ {
+		ci := ws[wi]
+		c := s.clauses[ci]
+		// Ensure c.lits[1] is the false watch.
+		if c.lits[0] == fl {
+			c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+		}
+		if s.value(c.lits[0]) == lTrue {
+			kept = append(kept, ci)
+			continue
+		}
+		// Search a replacement watch.
+		found := false
+		for k := 2; k < len(c.lits); k++ {
+			if s.value(c.lits[k]) != lFalse {
+				c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+				s.watches[c.lits[1]] = append(s.watches[c.lits[1]], ci)
+				found = true
+				break
+			}
+		}
+		if found {
+			continue // moved to another watch list
+		}
+		// Clause is unit or conflicting.
+		kept = append(kept, ci)
+		if s.value(c.lits[0]) == lFalse {
+			// Conflict: keep remaining watches, restore list, report.
+			kept = append(kept, ws[wi+1:]...)
+			s.watches[fl] = kept
+			return ci
+		}
+		s.enqueue(c.lits[0], ci)
+	}
+	s.watches[fl] = kept
+	return confNone
+}
+
+// propagateXORs visits XOR rows watching variable v, which just became
+// assigned.
+func (s *Solver) propagateXORs(v int) int {
+	ws := s.xorWatches[v]
+	kept := ws[:0]
+	for wi := 0; wi < len(ws); wi++ {
+		xi := ws[wi]
+		x := s.xors[xi]
+		// Normalise: w2 is the watch on v.
+		if x.vars[x.w1] == v {
+			x.w1, x.w2 = x.w2, x.w1
+		}
+		// Find a replacement unassigned variable (≠ w1 position).
+		found := false
+		for k := range x.vars {
+			if k == x.w1 || k == x.w2 {
+				continue
+			}
+			if s.assign[x.vars[k]] == lUndef {
+				x.w2 = k
+				s.xorWatches[x.vars[k]] = append(s.xorWatches[x.vars[k]], xi)
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		kept = append(kept, xi)
+		// All variables other than possibly vars[w1] are assigned.
+		other := x.vars[x.w1]
+		parity := x.rhs
+		unassignedOther := s.assign[other] == lUndef
+		for _, u := range x.vars {
+			if u == other && unassignedOther {
+				continue
+			}
+			if s.assign[u] == lTrue {
+				parity = !parity
+			}
+		}
+		if unassignedOther {
+			// parity is the required value of `other`.
+			s.enqueue(mkLit(other, !parity), xorReasonBase+xi)
+		} else if parity {
+			// Parity violated: conflict.
+			kept = append(kept, ws[wi+1:]...)
+			s.xorWatches[v] = kept
+			return xorConfBase + xi
+		}
+	}
+	s.xorWatches[v] = kept
+	return confNone
+}
+
+const xorReasonBase = 1 << 29
+
+// reasonLits returns the clause form of the reason for variable v's
+// assignment: a clause in which every literal except the one asserting v is
+// false under the current assignment.
+func (s *Solver) reasonLits(v int) []int {
+	r := s.reason[v]
+	if r == reasonNone {
+		return nil
+	}
+	if r < xorReasonBase {
+		return s.clauses[r].lits
+	}
+	x := s.xors[r-xorReasonBase]
+	return s.xorClause(x, v)
+}
+
+// xorClause renders XOR row x as the clause that is unit on variable
+// asserted (or fully false if asserted < 0, for conflicts): the asserted
+// variable's satisfied literal plus the falsified literals of all others.
+func (s *Solver) xorClause(x *xorRow, asserted int) []int {
+	lits := make([]int, 0, len(x.vars))
+	for _, u := range x.vars {
+		if u == asserted {
+			lits = append(lits, mkLit(u, s.assign[u] == lFalse))
+		} else {
+			// Literal currently false.
+			lits = append(lits, mkLit(u, s.assign[u] == lTrue))
+		}
+	}
+	// Place asserted literal first, as conflict analysis expects for
+	// reasons.
+	if asserted >= 0 {
+		for i, l := range lits {
+			if litVar(l) == asserted {
+				lits[0], lits[i] = lits[i], lits[0]
+				break
+			}
+		}
+	}
+	return lits
+}
+
+func (s *Solver) conflictLits(conf int) []int {
+	if conf < xorConfBase {
+		return s.clauses[conf].lits
+	}
+	return s.xorClause(s.xors[conf-xorConfBase], -1)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learned
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conf int) ([]int, int) {
+	learned := []int{0} // placeholder for the asserting literal
+	counter := 0
+	idx := len(s.trail) - 1
+	var p int = -1
+	lits := s.conflictLits(conf)
+	for {
+		start := 0
+		if p >= 0 {
+			start = 1 // skip asserting literal of the reason
+		}
+		for _, q := range lits[start:] {
+			v := litVar(q)
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Find next marked literal on the trail.
+		for !s.seen[litVar(s.trail[idx])] {
+			idx--
+		}
+		p = s.trail[idx]
+		v := litVar(p)
+		s.seen[v] = false
+		counter--
+		idx--
+		if counter == 0 {
+			learned[0] = litNeg(p)
+			break
+		}
+		lits = s.reasonLits(v)
+	}
+	// Compute backtrack level and clear marks.
+	back := 0
+	for i := 1; i < len(learned); i++ {
+		if lvl := s.level[litVar(learned[i])]; lvl > back {
+			back = lvl
+			// Move the max-level literal to position 1 (second watch).
+			learned[1], learned[i] = learned[i], learned[1]
+		}
+	}
+	for _, q := range learned[1:] {
+		s.seen[litVar(q)] = false
+	}
+	return learned, back
+}
+
+// record installs a learned clause and asserts its first literal.
+func (s *Solver) record(learned []int) {
+	if len(learned) == 1 {
+		s.enqueue(learned[0], reasonNone)
+		return
+	}
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, &clause{lits: learned, learned: true})
+	s.watches[learned[0]] = append(s.watches[learned[0]], idx)
+	s.watches[learned[1]] = append(s.watches[learned[1]], idx)
+	s.stats.Learned++
+	s.enqueue(learned[0], idx)
+}
+
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := -1, -1.0
+	for v := 0; v < s.nVars; v++ {
+		if s.assign[v] == lUndef && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment, returning (model, true) on
+// SAT and (zero, false) on UNSAT. The solver backtracks to level 0 before
+// returning, so further clauses may be added afterwards (e.g. blocking
+// clauses for enumeration).
+func (s *Solver) Solve() (bitvec.BitVec, bool) {
+	if s.unsat {
+		return bitvec.BitVec{}, false
+	}
+	defer s.cancelUntil(0)
+	if conf := s.propagate(); conf != confNone {
+		s.unsat = true
+		return bitvec.BitVec{}, false
+	}
+	const restartBase = 100
+	restartNum := int64(1)
+	budget := restartBase * luby(restartNum)
+	var conflicts int64
+	for {
+		conf := s.propagate()
+		if conf != confNone {
+			s.stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return bitvec.BitVec{}, false
+			}
+			learned, back := s.analyze(conf)
+			s.cancelUntil(back)
+			s.record(learned)
+			s.varInc /= 0.95
+			continue
+		}
+		if conflicts >= budget {
+			// Restart.
+			s.stats.Restarts++
+			restartNum++
+			conflicts = 0
+			budget = restartBase * luby(restartNum)
+			s.cancelUntil(0)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			// All variables assigned: SAT.
+			model := bitvec.New(s.nVars)
+			for i := 0; i < s.nVars; i++ {
+				if s.assign[i] == lTrue {
+					model.Set(i, true)
+				}
+			}
+			return model, true
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(mkLit(v, !s.phase[v]), reasonNone)
+	}
+}
+
+// BlockModel adds the clause forbidding the given full assignment, enabling
+// AllSAT-style enumeration. Returns false if the formula becomes
+// unsatisfiable.
+func (s *Solver) BlockModel(model bitvec.BitVec) bool {
+	lits := make([]formula.Lit, s.nVars)
+	for v := 0; v < s.nVars; v++ {
+		lits[v] = formula.Lit{Var: v, Neg: model.Get(v)}
+	}
+	return s.AddClause(lits)
+}
+
+// EnumerateModels visits up to limit models (limit < 0 for all), blocking
+// each before searching for the next. visit returning false stops early.
+// It returns the number of models visited.
+func (s *Solver) EnumerateModels(limit int, visit func(bitvec.BitVec) bool) int {
+	count := 0
+	for limit < 0 || count < limit {
+		model, ok := s.Solve()
+		if !ok {
+			break
+		}
+		count++
+		if !visit(model) {
+			break
+		}
+		if !s.BlockModel(model) {
+			break
+		}
+	}
+	return count
+}

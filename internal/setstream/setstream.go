@@ -1,0 +1,411 @@
+// Package setstream implements Section 5 of the paper: F0 estimation over
+// structured set streams, where each stream item is a succinct description
+// of a subset of {0,1}^n — a DNF formula (Theorem 5), a d-dimensional range
+// (Lemma 4 + Theorem 6), a d-dimensional arithmetic progression
+// (Corollary 1), an affine space Ax = b (Proposition 4 + Theorem 7), or a
+// CNF formula (the Observation 2 discussion, answered with the CNF oracle).
+//
+// All estimators are instances of one pattern: keep the Thresh
+// lexicographically smallest values of h(∪ᵢ Sol(φᵢ)) for h drawn from
+// H_Toeplitz(n, 3n), updating per item with the appropriate FindMin — the
+// Minimum-based counter run "inside out".
+//
+// The package also implements the weighted-#DNF → d-dimensional-range
+// reduction of Section 5.
+package setstream
+
+import (
+	"math"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/counting"
+	"mcf0/internal/exact"
+	"mcf0/internal/formula"
+	"mcf0/internal/gf2"
+	"mcf0/internal/hash"
+	"mcf0/internal/oracle"
+	"mcf0/internal/stats"
+)
+
+// Options parameterises the set-stream estimators; the zero value selects
+// the paper's constants (Thresh = 96/ε², t = 35·log₂(1/δ), ε=0.8, δ=0.2).
+type Options struct {
+	Epsilon    float64
+	Delta      float64
+	Thresh     int
+	Iterations int
+	RNG        *stats.RNG
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon > 0 {
+		return o.Epsilon
+	}
+	return 0.8
+}
+
+func (o Options) delta() float64 {
+	if o.Delta > 0 && o.Delta < 1 {
+		return o.Delta
+	}
+	return 0.2
+}
+
+func (o Options) thresh() int {
+	if o.Thresh > 0 {
+		return o.Thresh
+	}
+	return int(96/(o.epsilon()*o.epsilon())) + 1
+}
+
+func (o Options) iterations() int {
+	if o.Iterations > 0 {
+		return o.Iterations
+	}
+	t := int(math.Ceil(35 * math.Log2(1/o.delta())))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (o Options) rng() *stats.RNG {
+	if o.RNG != nil {
+		return o.RNG
+	}
+	return stats.NewRNG(0x5e75747265616d)
+}
+
+// minSketch is the shared Minimum-style sketch: per copy, a Toeplitz hash
+// n → 3n and the Thresh smallest distinct hash values seen so far.
+type minSketch struct {
+	thresh int
+	copies []*sketchCopy
+}
+
+type sketchCopy struct {
+	h    *hash.Linear
+	vals []bitvec.BitVec // sorted ascending
+}
+
+func newMinSketch(n int, opts Options) *minSketch {
+	rng := opts.rng()
+	fam := hash.NewToeplitz(n, 3*n)
+	s := &minSketch{thresh: opts.thresh()}
+	for i := 0; i < opts.iterations(); i++ {
+		s.copies = append(s.copies, &sketchCopy{h: fam.Draw(rng.Uint64).(*hash.Linear)})
+	}
+	return s
+}
+
+// absorb merges a sorted batch of candidate minima into copy c.
+func (s *minSketch) absorb(c *sketchCopy, batch []bitvec.BitVec) {
+	if len(batch) == 0 {
+		return
+	}
+	merged := make([]bitvec.BitVec, 0, len(c.vals)+len(batch))
+	i, j := 0, 0
+	for (i < len(c.vals) || j < len(batch)) && len(merged) < s.thresh {
+		switch {
+		case i >= len(c.vals):
+			merged = appendDistinct(merged, batch[j])
+			j++
+		case j >= len(batch):
+			merged = appendDistinct(merged, c.vals[i])
+			i++
+		case c.vals[i].Less(batch[j]):
+			merged = appendDistinct(merged, c.vals[i])
+			i++
+		default:
+			merged = appendDistinct(merged, batch[j])
+			j++
+		}
+	}
+	c.vals = merged
+}
+
+func appendDistinct(vs []bitvec.BitVec, v bitvec.BitVec) []bitvec.BitVec {
+	if len(vs) > 0 && vs[len(vs)-1].Equal(v) {
+		return vs
+	}
+	return append(vs, v)
+}
+
+// Estimate is the k-minimum-values estimator shared by all set streams.
+func (s *minSketch) Estimate() float64 {
+	ests := make([]float64, len(s.copies))
+	for i, c := range s.copies {
+		if len(c.vals) < s.thresh {
+			ests[i] = float64(len(c.vals))
+			continue
+		}
+		f := c.vals[len(c.vals)-1].Fraction()
+		if f == 0 {
+			ests[i] = float64(len(c.vals))
+			continue
+		}
+		ests[i] = float64(s.thresh) / f
+	}
+	return stats.Median(ests)
+}
+
+// SketchWords reports sketch memory in 64-bit words (hash functions
+// excluded), for the space experiments of Theorems 5–7.
+func (s *minSketch) SketchWords() int {
+	total := 0
+	for _, c := range s.copies {
+		for _, v := range c.vals {
+			total += (v.Len() + 63) / 64
+		}
+	}
+	return total
+}
+
+// DNFStream estimates F0 of a stream of DNF sets (Theorem 5): per item,
+// the Thresh smallest hashed solutions of the arriving formula are
+// computed in time O(n⁴·k·Thresh) by FindMinDNF and merged into the
+// sketch.
+type DNFStream struct {
+	n int
+	s *minSketch
+}
+
+// NewDNFStream builds the estimator over n-variable DNF items.
+func NewDNFStream(n int, opts Options) *DNFStream {
+	return &DNFStream{n: n, s: newMinSketch(n, opts)}
+}
+
+// ProcessDNF absorbs one DNF set.
+func (d *DNFStream) ProcessDNF(f *formula.DNF) {
+	if f.N != d.n {
+		panic("setstream: DNF variable count mismatch")
+	}
+	for _, c := range d.s.copies {
+		batch := counting.FindMinDNF(f, c.h, d.s.thresh)
+		d.s.absorb(c, batch)
+	}
+}
+
+// ProcessElement absorbs a single universe element (the classic streaming
+// model embeds into DNF streams via singleton formulas).
+func (d *DNFStream) ProcessElement(x bitvec.BitVec) {
+	d.ProcessDNF(formula.SingletonDNF(x))
+}
+
+// Estimate returns the (ε, δ)-approximation of |∪ᵢ Sol(φᵢ)|.
+func (d *DNFStream) Estimate() float64 { return d.s.Estimate() }
+
+// SketchWords reports sketch memory in words.
+func (d *DNFStream) SketchWords() int { return d.s.SketchWords() }
+
+// RangeStream estimates F0 over d-dimensional range items (Theorem 6) by
+// converting each range to its Lemma 4 DNF (≤ (2n)^d terms) and feeding a
+// DNFStream.
+type RangeStream struct {
+	inner *DNFStream
+	bits  []int
+}
+
+// NewRangeStream builds the estimator; bitsPerDim fixes each dimension's
+// width (total variables Σ bitsPerDim).
+func NewRangeStream(bitsPerDim []int, opts Options) *RangeStream {
+	total := 0
+	for _, b := range bitsPerDim {
+		total += b
+	}
+	return &RangeStream{inner: NewDNFStream(total, opts), bits: append([]int(nil), bitsPerDim...)}
+}
+
+// ProcessRange absorbs one d-dimensional range.
+func (r *RangeStream) ProcessRange(mr formula.MultiRange) error {
+	if len(mr.Dims) != len(r.bits) {
+		panic("setstream: dimension count mismatch")
+	}
+	for i, dim := range mr.Dims {
+		if dim.Bits != r.bits[i] {
+			panic("setstream: dimension width mismatch")
+		}
+	}
+	d, err := formula.MultiRangeDNF(mr)
+	if err != nil {
+		return err
+	}
+	r.inner.ProcessDNF(d)
+	return nil
+}
+
+// Estimate returns the (ε, δ)-approximation of the union size.
+func (r *RangeStream) Estimate() float64 { return r.inner.Estimate() }
+
+// SketchWords reports sketch memory in words.
+func (r *RangeStream) SketchWords() int { return r.inner.SketchWords() }
+
+// ProgressionStream estimates F0 over d-dimensional arithmetic-progression
+// items with power-of-two steps (Corollary 1).
+type ProgressionStream struct {
+	inner *DNFStream
+	bits  []int
+}
+
+// NewProgressionStream builds the estimator with the given per-dimension
+// widths.
+func NewProgressionStream(bitsPerDim []int, opts Options) *ProgressionStream {
+	total := 0
+	for _, b := range bitsPerDim {
+		total += b
+	}
+	return &ProgressionStream{inner: NewDNFStream(total, opts), bits: append([]int(nil), bitsPerDim...)}
+}
+
+// ProcessProgression absorbs one d-dimensional progression (one Progression
+// per dimension).
+func (p *ProgressionStream) ProcessProgression(ps []formula.Progression) error {
+	if len(ps) != len(p.bits) {
+		panic("setstream: dimension count mismatch")
+	}
+	for i, pr := range ps {
+		if pr.Bits != p.bits[i] {
+			panic("setstream: dimension width mismatch")
+		}
+	}
+	d, err := formula.MultiProgressionDNF(ps)
+	if err != nil {
+		return err
+	}
+	p.inner.ProcessDNF(d)
+	return nil
+}
+
+// Estimate returns the (ε, δ)-approximation of the union size.
+func (p *ProgressionStream) Estimate() float64 { return p.inner.Estimate() }
+
+// AffineStream estimates F0 over affine-space items ⟨A, b⟩ representing
+// {x : Ax = b} (Theorem 7). Per item, AffineFindMin (Proposition 4) finds
+// the Thresh smallest values of h over the solution space by prefix search
+// through the stacked system [D | A].
+type AffineStream struct {
+	n int
+	s *minSketch
+}
+
+// NewAffineStream builds the estimator over n-bit universes.
+func NewAffineStream(n int, opts Options) *AffineStream {
+	return &AffineStream{n: n, s: newMinSketch(n, opts)}
+}
+
+// AffineFindMin implements Proposition 4: the t lexicographically smallest
+// elements of h(Sol(⟨A, b⟩)), via Gaussian elimination in O(n⁴·t).
+func AffineFindMin(a *gf2.Matrix, b bitvec.BitVec, h *hash.Linear, t int) []bitvec.BitVec {
+	cons := gf2.NewSystem(a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		cons.Add(a.Row(i), b.Get(i))
+	}
+	searcher := gf2.NewImageSearcher(h.A, h.B, cons)
+	return searcher.KMin(t)
+}
+
+// ProcessAffine absorbs one affine set {x : Ax = b}.
+func (s *AffineStream) ProcessAffine(a *gf2.Matrix, b bitvec.BitVec) {
+	if a.Cols() != s.n {
+		panic("setstream: affine item width mismatch")
+	}
+	for _, c := range s.s.copies {
+		batch := AffineFindMin(a, b, c.h, s.s.thresh)
+		s.s.absorb(c, batch)
+	}
+}
+
+// Estimate returns the (ε, δ)-approximation of the union size.
+func (s *AffineStream) Estimate() float64 { return s.s.Estimate() }
+
+// SketchWords reports sketch memory in words.
+func (s *AffineStream) SketchWords() int { return s.s.SketchWords() }
+
+// CNFStream estimates F0 over CNF-formula items using the NP-oracle
+// FindMin (the Observation 2 discussion: with a SAT solver standing in for
+// the oracle, d-dimensional ranges in CNF form take polynomially many
+// oracle calls per item).
+type CNFStream struct {
+	n int
+	s *minSketch
+	// Queries accumulates oracle calls across items.
+	Queries int64
+}
+
+// NewCNFStream builds the estimator over n-variable CNF items.
+func NewCNFStream(n int, opts Options) *CNFStream {
+	return &CNFStream{n: n, s: newMinSketch(n, opts)}
+}
+
+// ProcessCNF absorbs one CNF set.
+func (c *CNFStream) ProcessCNF(f *formula.CNF) {
+	if f.N != c.n {
+		panic("setstream: CNF variable count mismatch")
+	}
+	src := oracle.NewCNFSource(f)
+	for _, cp := range c.s.copies {
+		batch := counting.FindMinOracle(src, cp.h, c.s.thresh)
+		c.s.absorb(cp, batch)
+	}
+	c.Queries += src.Queries()
+}
+
+// Estimate returns the (ε, δ)-approximation of the union size.
+func (c *CNFStream) Estimate() float64 { return c.s.Estimate() }
+
+// WeightedDNF pairs a DNF with the dyadic weight function of Section 5:
+// ρ(xᵢ) = Num[i] / 2^Bits[i].
+type WeightedDNF struct {
+	D *formula.DNF
+	W exact.WeightFunc
+}
+
+// TermBox converts term t to its d-dimensional box under the weighted
+// reduction. The paper maps xᵢ → [1, kᵢ] and ¬xᵢ → [kᵢ+1, 2^mᵢ]; we shift
+// by one to [0, kᵢ−1] and [kᵢ, 2^mᵢ−1] so every dimension fits in mᵢ bits —
+// the measure of each interval, hence the reduction, is unchanged.
+func (wd WeightedDNF) TermBox(t formula.Term) (formula.MultiRange, bool) {
+	norm, ok := t.Normalize()
+	if !ok {
+		return formula.MultiRange{}, false
+	}
+	fixed, val := formula.TermFixed(wd.D.N, norm)
+	dims := make([]formula.Range, wd.D.N)
+	for i := 0; i < wd.D.N; i++ {
+		bits := wd.W.Bits[i]
+		maxV := uint64(1)<<uint(bits) - 1
+		switch {
+		case !fixed[i]:
+			dims[i] = formula.Range{Lo: 0, Hi: maxV, Bits: bits}
+		case val.Get(i):
+			dims[i] = formula.Range{Lo: 0, Hi: wd.W.Num[i] - 1, Bits: bits}
+		default:
+			dims[i] = formula.Range{Lo: wd.W.Num[i], Hi: maxV, Bits: bits}
+		}
+	}
+	return formula.MultiRange{Dims: dims}, true
+}
+
+// WeightedCount estimates W(φ) = Σ_{σ⊨φ} W(σ) by streaming each term's box
+// through a RangeStream and dividing the union size by 2^Σmᵢ — the
+// reduction from weighted #DNF to F0 over d-dimensional ranges.
+func WeightedCount(wd WeightedDNF, opts Options) float64 {
+	if !wd.W.Validate(wd.D.N) {
+		panic("setstream: invalid weight function")
+	}
+	rs := NewRangeStream(wd.W.Bits, opts)
+	for _, t := range wd.D.Terms {
+		box, ok := wd.TermBox(t)
+		if !ok {
+			continue
+		}
+		if err := rs.ProcessRange(box); err != nil {
+			panic(err) // boxes are valid by construction
+		}
+	}
+	totalBits := 0
+	for _, b := range wd.W.Bits {
+		totalBits += b
+	}
+	return rs.Estimate() / math.Pow(2, float64(totalBits))
+}

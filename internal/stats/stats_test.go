@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGUniformish(t *testing.T) {
+	// Coarse sanity: bucket counts of Intn(8) within 20% of expectation.
+	r := NewRNG(7)
+	const n, buckets = 80000, 8
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/buckets) > 0.2*n/buckets {
+			t.Fatalf("bucket %d count %d far from %d", i, c, n/buckets)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1}, 1},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5, 5, 5}, 5},
+	}
+	for _, c := range cases {
+		orig := append([]float64(nil), c.in...)
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range orig {
+			if c.in[i] != orig[i] {
+				t.Error("Median mutated its input")
+			}
+		}
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of singleton should be 0")
+	}
+}
+
+func TestWithinFactor(t *testing.T) {
+	cases := []struct {
+		est, truth, eps float64
+		want            bool
+	}{
+		{100, 100, 0.1, true},
+		{111, 100, 0.1, false},
+		{110, 100, 0.1, true},
+		{90, 100, 0.1, false}, // 100/1.1 ≈ 90.909
+		{91, 100, 0.1, true},
+		{0, 0, 0.5, true},
+		{1, 0, 0.5, false},
+	}
+	for _, c := range cases {
+		if got := WithinFactor(c.est, c.truth, c.eps); got != c.want {
+			t.Errorf("WithinFactor(%v,%v,%v) = %v, want %v", c.est, c.truth, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestSuccessRate(t *testing.T) {
+	if got := SuccessRate([]bool{true, false, true, true}); got != 0.75 {
+		t.Errorf("SuccessRate = %v, want 0.75", got)
+	}
+	if got := SuccessRate(nil); got != 0 {
+		t.Errorf("SuccessRate(nil) = %v", got)
+	}
+}
+
+func TestMedianInt(t *testing.T) {
+	if got := MedianInt([]int{1, 9, 3}); got != 3 {
+		t.Errorf("MedianInt = %v, want 3", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Median empty": func() { Median(nil) },
+		"Mean empty":   func() { Mean(nil) },
+		"Intn zero":    func() { NewRNG(1).Intn(0) },
+		"Uint64n zero": func() { NewRNG(1).Uint64n(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,405 @@
+// Package streaming implements the ComputeF0 architecture of Section 3
+// (Algorithms 1–4): three sketch-based (ε, δ) estimators for the number of
+// distinct elements in a stream over {0,1}^n —
+//
+//   - Bucketing (Gibbons–Tirthapura): keep the elements whose hash has an
+//     all-zero m-bit prefix, doubling the cell count on overflow;
+//   - Minimum (Bar-Yossef et al.): keep the Thresh lexicographically
+//     smallest hash values;
+//   - Estimation (Bar-Yossef et al.): track the maximum trailing-zero
+//     count of Thresh independent s-wise hashes;
+//
+// plus the Flajolet–Martin rough estimator and an exact-distinct baseline.
+// Every sketch processes items one at a time and is order-insensitive.
+package streaming
+
+import (
+	"math"
+	"sort"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/hash"
+	"mcf0/internal/stats"
+)
+
+// Options parameterises the sketches; the zero value selects the paper's
+// constants (Thresh = 96/ε² with ε = 0.8, t = 35·log₂(1/δ) with δ = 0.2).
+type Options struct {
+	Epsilon    float64
+	Delta      float64
+	Thresh     int
+	Iterations int
+	RNG        *stats.RNG
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon > 0 {
+		return o.Epsilon
+	}
+	return 0.8
+}
+
+func (o Options) delta() float64 {
+	if o.Delta > 0 && o.Delta < 1 {
+		return o.Delta
+	}
+	return 0.2
+}
+
+func (o Options) thresh() int {
+	if o.Thresh > 0 {
+		return o.Thresh
+	}
+	return int(96/(o.epsilon()*o.epsilon())) + 1
+}
+
+func (o Options) iterations() int {
+	if o.Iterations > 0 {
+		return o.Iterations
+	}
+	t := int(35 * log2(1/o.delta()))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (o Options) rng() *stats.RNG {
+	if o.RNG != nil {
+		return o.RNG
+	}
+	return stats.NewRNG(0xf0f0f0)
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+func pow2(k int) float64 { return math.Pow(2, float64(k)) }
+
+// Estimator is the common face of the F0 sketches (Algorithm 1's
+// architecture): feed elements with Process, read the answer with Estimate.
+type Estimator interface {
+	// Process absorbs one stream element.
+	Process(x bitvec.BitVec)
+	// Estimate returns the current F0 approximation.
+	Estimate() float64
+	// SketchWords returns the current sketch size in 64-bit words,
+	// excluding the stored hash functions (reported for the space
+	// experiments).
+	SketchWords() int
+}
+
+// ExactDistinct is the ground-truth baseline: a hash set of all elements.
+type ExactDistinct struct {
+	seen map[string]struct{}
+	n    int
+}
+
+// NewExactDistinct returns an exact distinct counter over n-bit elements.
+func NewExactDistinct(n int) *ExactDistinct {
+	return &ExactDistinct{seen: map[string]struct{}{}, n: n}
+}
+
+// Process absorbs one element.
+func (e *ExactDistinct) Process(x bitvec.BitVec) { e.seen[x.Key()] = struct{}{} }
+
+// Estimate returns the exact distinct count.
+func (e *ExactDistinct) Estimate() float64 { return float64(len(e.seen)) }
+
+// SketchWords reports the O(F0) exact-set footprint.
+func (e *ExactDistinct) SketchWords() int { return len(e.seen) * ((e.n + 63) / 64) }
+
+// Count returns the distinct count as an integer.
+func (e *ExactDistinct) Count() int { return len(e.seen) }
+
+// Bucketing is Algorithm 3's Bucketing case: t independent copies of the
+// Gibbons–Tirthapura adaptive-sampling bucket.
+type Bucketing struct {
+	thresh int
+	copies []*bucketCopy
+}
+
+type bucketCopy struct {
+	h     *hash.Linear
+	level int
+	// elems maps element keys to their full hash value, so raising the
+	// level can re-filter without rehashing.
+	elems map[string]bitvec.BitVec
+}
+
+// NewBucketing builds a Bucketing sketch over n-bit elements, drawing
+// hashes from H_Toeplitz(n, n).
+func NewBucketing(n int, opts Options) *Bucketing {
+	rng := opts.rng()
+	fam := hash.NewToeplitz(n, n)
+	b := &Bucketing{thresh: opts.thresh()}
+	for i := 0; i < opts.iterations(); i++ {
+		b.copies = append(b.copies, &bucketCopy{
+			h:     fam.Draw(rng.Uint64).(*hash.Linear),
+			elems: map[string]bitvec.BitVec{},
+		})
+	}
+	return b
+}
+
+// Process absorbs one element (lines 3–11 of Algorithm 3).
+func (b *Bucketing) Process(x bitvec.BitVec) {
+	for _, c := range b.copies {
+		key := x.Key()
+		if _, ok := c.elems[key]; ok {
+			continue
+		}
+		y := c.h.Eval(x)
+		if !y.HasZeroPrefix(c.level) {
+			continue
+		}
+		c.elems[key] = y
+		for len(c.elems) > b.thresh {
+			c.level++
+			for k, hy := range c.elems {
+				if !hy.HasZeroPrefix(c.level) {
+					delete(c.elems, k)
+				}
+			}
+		}
+	}
+}
+
+// Estimate returns Median_i(|bucket_i| · 2^level_i).
+func (b *Bucketing) Estimate() float64 {
+	ests := make([]float64, len(b.copies))
+	for i, c := range b.copies {
+		ests[i] = float64(len(c.elems)) * pow2(c.level)
+	}
+	return stats.Median(ests)
+}
+
+// SketchWords reports the bucket contents' footprint.
+func (b *Bucketing) SketchWords() int {
+	total := 0
+	for _, c := range b.copies {
+		for _, hy := range c.elems {
+			total += (hy.Len() + 63) / 64
+		}
+	}
+	return total
+}
+
+// MaxLevel returns the largest sampling level across copies (diagnostics).
+func (b *Bucketing) MaxLevel() int {
+	m := 0
+	for _, c := range b.copies {
+		if c.level > m {
+			m = c.level
+		}
+	}
+	return m
+}
+
+// Minimum is Algorithm 3's Minimum case: t copies each retaining the
+// Thresh lexicographically smallest distinct hash values, with hashes from
+// H_Toeplitz(n, 3n).
+type Minimum struct {
+	thresh int
+	copies []*minCopy
+}
+
+type minCopy struct {
+	h    *hash.Linear
+	vals []bitvec.BitVec // sorted ascending, ≤ thresh distinct values
+}
+
+// NewMinimum builds a Minimum sketch over n-bit elements.
+func NewMinimum(n int, opts Options) *Minimum {
+	rng := opts.rng()
+	fam := hash.NewToeplitz(n, 3*n)
+	m := &Minimum{thresh: opts.thresh()}
+	for i := 0; i < opts.iterations(); i++ {
+		m.copies = append(m.copies, &minCopy{h: fam.Draw(rng.Uint64).(*hash.Linear)})
+	}
+	return m
+}
+
+// Process absorbs one element (lines 12–18 of Algorithm 3).
+func (m *Minimum) Process(x bitvec.BitVec) {
+	for _, c := range m.copies {
+		y := c.h.Eval(x)
+		idx := sort.Search(len(c.vals), func(i int) bool { return !c.vals[i].Less(y) })
+		if idx < len(c.vals) && c.vals[idx].Equal(y) {
+			continue // already present
+		}
+		if len(c.vals) < m.thresh {
+			c.vals = append(c.vals, bitvec.BitVec{})
+			copy(c.vals[idx+1:], c.vals[idx:])
+			c.vals[idx] = y
+		} else if idx < len(c.vals) {
+			// y is smaller than the current maximum: replace it.
+			copy(c.vals[idx+1:], c.vals[idx:len(c.vals)-1])
+			c.vals[idx] = y
+		}
+	}
+}
+
+// Estimate returns Median_i(Thresh / frac(max S[i])), or the exact distinct
+// hash count when a copy holds fewer than Thresh values.
+func (m *Minimum) Estimate() float64 {
+	ests := make([]float64, len(m.copies))
+	for i, c := range m.copies {
+		if len(c.vals) < m.thresh {
+			ests[i] = float64(len(c.vals))
+			continue
+		}
+		f := c.vals[len(c.vals)-1].Fraction()
+		if f == 0 {
+			ests[i] = float64(len(c.vals))
+			continue
+		}
+		ests[i] = float64(m.thresh) / f
+	}
+	return stats.Median(ests)
+}
+
+// SketchWords reports the stored minima footprint.
+func (m *Minimum) SketchWords() int {
+	total := 0
+	for _, c := range m.copies {
+		for _, v := range c.vals {
+			total += (v.Len() + 63) / 64
+		}
+	}
+	return total
+}
+
+// Estimation is Algorithm 3's Estimation case: a t × Thresh grid of s-wise
+// independent hashes, tracking each one's maximum trailing-zero count.
+// Requires n ≤ 64. Estimate needs the range parameter r of Lemma 3
+// (2F0 ≤ 2^r ≤ 50F0); EstimateAuto derives one from a built-in
+// Flajolet–Martin tracker, "run in parallel" as the paper prescribes.
+type Estimation struct {
+	thresh int
+	n      int
+	hs     [][]hash.Func
+	s      [][]int // S[i][j]: max trailing zeros seen
+	fm     *FlajoletMartin
+}
+
+// NewEstimation builds an Estimation sketch over n-bit elements, drawing
+// from the s-wise polynomial family with s = 10·log₂(1/ε).
+func NewEstimation(n int, opts Options) *Estimation {
+	rng := opts.rng()
+	s := int(10 * log2(1/opts.epsilon()))
+	if s < 2 {
+		s = 2
+	}
+	fam := hash.NewPoly(n, s)
+	t := opts.iterations()
+	thresh := opts.thresh()
+	e := &Estimation{thresh: thresh, n: n, fm: NewFlajoletMartin(n, opts)}
+	for i := 0; i < t; i++ {
+		var row []hash.Func
+		var srow []int
+		for j := 0; j < thresh; j++ {
+			row = append(row, fam.Draw(rng.Uint64))
+			srow = append(srow, -1)
+		}
+		e.hs = append(e.hs, row)
+		e.s = append(e.s, srow)
+	}
+	return e
+}
+
+// Process absorbs one element (lines 19–21 of Algorithm 3).
+func (e *Estimation) Process(x bitvec.BitVec) {
+	for i := range e.hs {
+		for j, h := range e.hs[i] {
+			if tz := h.Eval(x).TrailingZeros(); tz > e.s[i][j] {
+				e.s[i][j] = tz
+			}
+		}
+	}
+	e.fm.Process(x)
+}
+
+// EstimateWithR evaluates the Lemma 3 estimator at range parameter r.
+func (e *Estimation) EstimateWithR(r int) float64 {
+	ests := make([]float64, len(e.s))
+	for i, row := range e.s {
+		hits := 0
+		for _, v := range row {
+			if v >= r {
+				hits++
+			}
+		}
+		ests[i] = stats.CouponEstimate(hits, e.thresh, r)
+	}
+	return stats.Median(ests)
+}
+
+// Estimate uses the parallel Flajolet–Martin tracker to choose r
+// (r = r_FM + 3 places 2^r inside the Lemma 3 window when FM is within its
+// factor-5 band).
+func (e *Estimation) Estimate() float64 { return e.EstimateWithR(e.SuggestR()) }
+
+// SuggestR returns the FM-derived range parameter, clamped to the hash
+// width (for streams denser than half the universe the Lemma 3 window is
+// infeasible and r = n is the best available choice).
+func (e *Estimation) SuggestR() int {
+	r := e.fm.MaxTrailingZeros() + 3
+	if r > e.n {
+		r = e.n
+	}
+	return r
+}
+
+// SketchWords reports the trailing-zero grid footprint.
+func (e *Estimation) SketchWords() int { return len(e.s) * e.thresh }
+
+// FlajoletMartin is the classical rough estimator: the maximum trailing
+// zero count r of a single pairwise-independent hash over the stream gives
+// 2^r, a factor-5 approximation of F0 with probability 3/5 (Alon–Matias–
+// Szegedy). The median over Iterations copies is reported.
+type FlajoletMartin struct {
+	hs  []*hash.Linear
+	max []int
+}
+
+// NewFlajoletMartin builds the rough estimator with hashes from H_xor(n,n).
+func NewFlajoletMartin(n int, opts Options) *FlajoletMartin {
+	rng := opts.rng()
+	fam := hash.NewXor(n, n)
+	f := &FlajoletMartin{}
+	for i := 0; i < opts.iterations(); i++ {
+		f.hs = append(f.hs, fam.Draw(rng.Uint64).(*hash.Linear))
+		f.max = append(f.max, -1)
+	}
+	return f
+}
+
+// Process absorbs one element.
+func (f *FlajoletMartin) Process(x bitvec.BitVec) {
+	for i, h := range f.hs {
+		if tz := h.Eval(x).TrailingZeros(); tz > f.max[i] {
+			f.max[i] = tz
+		}
+	}
+}
+
+// Estimate returns Median_i(2^{r_i}).
+func (f *FlajoletMartin) Estimate() float64 {
+	ests := make([]float64, len(f.max))
+	for i, r := range f.max {
+		if r < 0 {
+			ests[i] = 0
+		} else {
+			ests[i] = pow2(r)
+		}
+	}
+	return stats.Median(ests)
+}
+
+// MaxTrailingZeros returns the median max-trailing-zero count.
+func (f *FlajoletMartin) MaxTrailingZeros() int {
+	return int(stats.MedianInt(f.max))
+}
+
+// SketchWords reports the O(t) counter footprint.
+func (f *FlajoletMartin) SketchWords() int { return len(f.max) }

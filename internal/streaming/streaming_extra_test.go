@@ -1,0 +1,86 @@
+package streaming
+
+import (
+	"math"
+	"testing"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/stats"
+)
+
+func TestEstimationAllHitsGivesInf(t *testing.T) {
+	// With r = 0 every hash trivially has ≥ 0 trailing zeros, so the
+	// coupon estimator must saturate to +Inf rather than divide by zero.
+	o := testOpts(1)
+	o.Iterations = 3
+	o.Thresh = 4
+	e := NewEstimation(8, o)
+	e.Process(bitvec.FromUint64(5, 8))
+	if got := e.EstimateWithR(0); !math.IsInf(got, 1) {
+		t.Fatalf("EstimateWithR(0) = %v, want +Inf", got)
+	}
+}
+
+func TestEmptyStreamEstimates(t *testing.T) {
+	o := testOpts(2)
+	for name, e := range map[string]Estimator{
+		"bucketing": NewBucketing(8, o),
+		"minimum":   NewMinimum(8, o),
+		"exact":     NewExactDistinct(8),
+	} {
+		if got := e.Estimate(); got != 0 {
+			t.Errorf("%s: empty stream estimate %g", name, got)
+		}
+	}
+	fm := NewFlajoletMartin(8, o)
+	if got := fm.Estimate(); got != 0 {
+		t.Errorf("FM: empty stream estimate %g", got)
+	}
+}
+
+func TestBucketingSaturatedUniverse(t *testing.T) {
+	// Feed the entire 2^8 universe; estimate must be within band of 256
+	// even at full saturation.
+	o := testOpts(3)
+	b := NewBucketing(8, o)
+	for v := uint64(0); v < 256; v++ {
+		b.Process(bitvec.FromUint64(v, 8))
+	}
+	if !stats.WithinFactor(b.Estimate(), 256, 1.0) {
+		t.Errorf("full-universe estimate %g", b.Estimate())
+	}
+}
+
+func TestMinimumReplacementKeepsSorted(t *testing.T) {
+	o := testOpts(4)
+	o.Thresh = 4
+	o.Iterations = 1
+	m := NewMinimum(12, o)
+	rng := stats.NewRNG(99)
+	for i := 0; i < 500; i++ {
+		m.Process(bitvec.Random(12, rng.Uint64))
+	}
+	c := m.copies[0]
+	if len(c.vals) != 4 {
+		t.Fatalf("copy holds %d values", len(c.vals))
+	}
+	for i := 1; i < len(c.vals); i++ {
+		if !c.vals[i-1].Less(c.vals[i]) {
+			t.Fatal("minimum copy not strictly sorted")
+		}
+	}
+}
+
+func TestSuggestRClamped(t *testing.T) {
+	// A dense stream over a tiny universe must not push r past n.
+	o := testOpts(5)
+	o.Iterations = 3
+	o.Thresh = 4
+	e := NewEstimation(6, o)
+	for v := uint64(0); v < 64; v++ {
+		e.Process(bitvec.FromUint64(v, 6))
+	}
+	if r := e.SuggestR(); r > 6 {
+		t.Fatalf("SuggestR = %d exceeds universe bits", r)
+	}
+}

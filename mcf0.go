@@ -1,0 +1,565 @@
+// Package mcf0 is a Go library unifying approximate model counting and F0
+// (distinct elements) estimation, implementing "Model Counting meets F0
+// Estimation" (Pavan, Vinodchandran, Bhattacharyya, Meel; PODS 2021).
+//
+// The package offers three hashing-based (ε, δ)-approximate model counters
+// obtained by transforming classic streaming sketches —
+//
+//   - AlgorithmBucketing:  ApproxMC (Algorithm 5), from the
+//     Gibbons–Tirthapura bucket sketch;
+//   - AlgorithmMinimum:    ApproxModelCountMin (Algorithm 6), from the
+//     k-minimum-values sketch; an FPRAS for DNF;
+//   - AlgorithmEstimation: ApproxModelCountEst (Algorithm 7), from the
+//     trailing-zero sketch;
+//   - AlgorithmKarpLuby:   the classical Monte-Carlo #DNF baseline;
+//
+// the corresponding F0 sketches themselves (F0 type), F0 estimation over
+// structured set streams — DNF sets, multidimensional ranges, arithmetic
+// progressions, affine spaces (Section 5) — weighted DNF counting via the
+// range-stream reduction, and distributed DNF counting protocols with
+// exact communication metering (Section 4).
+//
+// Formulas enter either as DIMACS text (CountCNF / CountDNF) or as literal
+// lists in the DIMACS convention: literal +v / −v is variable v (1-based)
+// positive / negated.
+package mcf0
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/counting"
+	"mcf0/internal/distributed"
+	"mcf0/internal/exact"
+	"mcf0/internal/formula"
+	"mcf0/internal/gf2"
+	"mcf0/internal/oracle"
+	"mcf0/internal/setstream"
+	"mcf0/internal/stats"
+	"mcf0/internal/streaming"
+)
+
+// Algorithm selects a counting or sketching strategy.
+type Algorithm string
+
+// The available algorithms.
+const (
+	AlgorithmBucketing  Algorithm = "bucketing"
+	AlgorithmMinimum    Algorithm = "minimum"
+	AlgorithmEstimation Algorithm = "estimation"
+	AlgorithmKarpLuby   Algorithm = "karpluby"
+)
+
+// Config carries the (ε, δ) parameters shared by every algorithm. The zero
+// value uses the paper's constants: ε = 0.8, δ = 0.2, Thresh = 96/ε²,
+// Iterations = 35·log₂(1/δ).
+type Config struct {
+	// Epsilon is the multiplicative error tolerance.
+	Epsilon float64
+	// Delta is the failure probability.
+	Delta float64
+	// Thresh overrides the sketch width 96/ε² (mainly for tests).
+	Thresh int
+	// Iterations overrides the median-trial count 35·log₂(1/δ).
+	Iterations int
+	// Seed fixes the random source; runs with equal seeds are identical.
+	// The zero seed selects a library default (still deterministic).
+	Seed uint64
+	// BinarySearch enables the ApproxMC2 prefix search for
+	// AlgorithmBucketing.
+	BinarySearch bool
+}
+
+func (c Config) countingOptions() counting.Options {
+	return counting.Options{
+		Epsilon:      c.Epsilon,
+		Delta:        c.Delta,
+		Thresh:       c.Thresh,
+		Iterations:   c.Iterations,
+		BinarySearch: c.BinarySearch,
+		RNG:          c.rng(),
+	}
+}
+
+func (c Config) rng() *stats.RNG {
+	seed := c.Seed
+	if seed == 0 {
+		seed = 0x6d6366302e676f
+	}
+	return stats.NewRNG(seed)
+}
+
+// CountResult reports an approximate model count.
+type CountResult struct {
+	// Estimate approximates |Sol(φ)| within factor (1+ε) with probability
+	// ≥ 1−δ.
+	Estimate float64
+	// OracleQueries counts NP-oracle (SAT) calls, the paper's complexity
+	// currency; zero for the polynomial-time DNF paths.
+	OracleQueries int64
+}
+
+// CountCNF approximately counts the models of a DIMACS CNF formula.
+// AlgorithmEstimation requires n ≤ 24 (its trailing-zero oracle falls back
+// to enumeration); AlgorithmKarpLuby applies only to DNF.
+func CountCNF(r io.Reader, alg Algorithm, cfg Config) (CountResult, error) {
+	c, err := formula.ParseDIMACS(r)
+	if err != nil {
+		return CountResult{}, err
+	}
+	return countCNF(c, alg, cfg)
+}
+
+// CountCNFClauses counts models of the CNF given as DIMACS-style literal
+// lists over n variables.
+func CountCNFClauses(n int, clauses [][]int, alg Algorithm, cfg Config) (CountResult, error) {
+	c := formula.NewCNF(n)
+	for _, cl := range clauses {
+		lits, err := dimacsLits(n, cl)
+		if err != nil {
+			return CountResult{}, err
+		}
+		c.AddClause(formula.Clause(lits))
+	}
+	return countCNF(c, alg, cfg)
+}
+
+func countCNF(c *formula.CNF, alg Algorithm, cfg Config) (CountResult, error) {
+	src := oracle.NewCNFSource(c)
+	opts := cfg.countingOptions()
+	switch alg {
+	case AlgorithmBucketing, "":
+		res := counting.ApproxMC(src, opts)
+		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries}, nil
+	case AlgorithmMinimum:
+		res := counting.ApproxModelCountMinOracle(src, opts)
+		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries}, nil
+	case AlgorithmEstimation:
+		if c.N > 24 {
+			return CountResult{}, fmt.Errorf("mcf0: estimation algorithm limited to 24 variables (enumeration oracle)")
+		}
+		tz := oracle.NewExhaustive(c.N, c.Eval)
+		rParam, _ := counting.RoughCount(src, roughTrials(cfg), cfg.rng())
+		if rParam < 0 {
+			return CountResult{Estimate: 0}, nil
+		}
+		res := counting.ApproxModelCountEst(tz, c.N, rParam, opts)
+		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries}, nil
+	default:
+		return CountResult{}, fmt.Errorf("mcf0: algorithm %q not applicable to CNF", alg)
+	}
+}
+
+// CountDNF approximately counts the models of a "p dnf" formula.
+func CountDNF(r io.Reader, alg Algorithm, cfg Config) (CountResult, error) {
+	d, err := formula.ParseDNF(r)
+	if err != nil {
+		return CountResult{}, err
+	}
+	return countDNF(d, alg, cfg)
+}
+
+// CountDNFTerms counts models of the DNF given as DIMACS-style literal
+// lists over n variables.
+func CountDNFTerms(n int, terms [][]int, alg Algorithm, cfg Config) (CountResult, error) {
+	d, err := dnfFromTerms(n, terms)
+	if err != nil {
+		return CountResult{}, err
+	}
+	return countDNF(d, alg, cfg)
+}
+
+func countDNF(d *formula.DNF, alg Algorithm, cfg Config) (CountResult, error) {
+	opts := cfg.countingOptions()
+	switch alg {
+	case AlgorithmBucketing, "":
+		src := oracle.NewDNFSource(d)
+		res := counting.ApproxMC(src, opts)
+		return CountResult{Estimate: res.Estimate}, nil
+	case AlgorithmMinimum:
+		res := counting.ApproxModelCountMinDNF(d, opts)
+		return CountResult{Estimate: res.Estimate}, nil
+	case AlgorithmEstimation:
+		if d.N > 24 {
+			return CountResult{}, fmt.Errorf("mcf0: estimation algorithm limited to 24 variables (enumeration oracle)")
+		}
+		tz := oracle.NewExhaustive(d.N, d.Eval)
+		rParam, _ := counting.RoughCount(oracle.NewDNFSource(d), roughTrials(cfg), cfg.rng())
+		if rParam < 0 {
+			return CountResult{Estimate: 0}, nil
+		}
+		res := counting.ApproxModelCountEst(tz, d.N, rParam, opts)
+		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries}, nil
+	case AlgorithmKarpLuby:
+		res := counting.KarpLuby(d, opts)
+		return CountResult{Estimate: res.Estimate}, nil
+	default:
+		return CountResult{}, fmt.Errorf("mcf0: unknown algorithm %q", alg)
+	}
+}
+
+// ExactCountDNFTerms returns the exact model count by inclusion–exclusion;
+// practical only for ≤ 24 terms. Ground truth for small experiments.
+func ExactCountDNFTerms(n int, terms [][]int) (uint64, error) {
+	d, err := dnfFromTerms(n, terms)
+	if err != nil {
+		return 0, err
+	}
+	return exact.CountDNF(d), nil
+}
+
+func dnfFromTerms(n int, terms [][]int) (*formula.DNF, error) {
+	d := formula.NewDNF(n)
+	for _, t := range terms {
+		lits, err := dimacsLits(n, t)
+		if err != nil {
+			return nil, err
+		}
+		d.AddTerm(formula.Term(lits))
+	}
+	return d, nil
+}
+
+// roughTrials sizes the Flajolet–Martin median used to pick the Estimation
+// algorithm's range parameter.
+func roughTrials(cfg Config) int {
+	if cfg.Iterations > 0 {
+		return cfg.Iterations
+	}
+	return 9
+}
+
+func dimacsLits(n int, raw []int) ([]formula.Lit, error) {
+	lits := make([]formula.Lit, len(raw))
+	for i, v := range raw {
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		if v < 1 || v > n {
+			return nil, fmt.Errorf("mcf0: literal %d out of range [1,%d]", v, n)
+		}
+		lits[i] = formula.Lit{Var: v - 1, Neg: neg}
+	}
+	return lits, nil
+}
+
+// F0 is a streaming distinct-elements sketch over a universe of nBits-bit
+// integers (nBits ≤ 64).
+type F0 struct {
+	nBits int
+	est   streaming.Estimator
+}
+
+// NewF0 builds an F0 sketch using the selected algorithm
+// (AlgorithmBucketing, AlgorithmMinimum, or AlgorithmEstimation).
+func NewF0(nBits int, alg Algorithm, cfg Config) (*F0, error) {
+	if nBits < 1 || nBits > 64 {
+		return nil, fmt.Errorf("mcf0: universe width %d out of [1,64]", nBits)
+	}
+	opts := streaming.Options{
+		Epsilon:    cfg.Epsilon,
+		Delta:      cfg.Delta,
+		Thresh:     cfg.Thresh,
+		Iterations: cfg.Iterations,
+		RNG:        cfg.rng(),
+	}
+	var est streaming.Estimator
+	switch alg {
+	case AlgorithmBucketing, "":
+		est = streaming.NewBucketing(nBits, opts)
+	case AlgorithmMinimum:
+		est = streaming.NewMinimum(nBits, opts)
+	case AlgorithmEstimation:
+		est = streaming.NewEstimation(nBits, opts)
+	default:
+		return nil, fmt.Errorf("mcf0: unknown F0 algorithm %q", alg)
+	}
+	return &F0{nBits: nBits, est: est}, nil
+}
+
+// Add absorbs one stream element.
+func (f *F0) Add(x uint64) {
+	if f.nBits < 64 && x >= 1<<uint(f.nBits) {
+		panic(fmt.Sprintf("mcf0: element %d exceeds %d-bit universe", x, f.nBits))
+	}
+	f.est.Process(bitvec.FromUint64(x, f.nBits))
+}
+
+// Estimate returns the current distinct-count approximation.
+func (f *F0) Estimate() float64 { return f.est.Estimate() }
+
+// SketchWords returns the sketch footprint in 64-bit words.
+func (f *F0) SketchWords() int { return f.est.SketchWords() }
+
+// RangeF0 estimates the number of distinct tuples covered by a stream of
+// d-dimensional ranges (Theorem 6), in poly(n·d) time per range.
+type RangeF0 struct {
+	inner *setstream.RangeStream
+	bits  []int
+}
+
+// NewRangeF0 builds a range-stream sketch; bitsPerDim fixes each
+// dimension's width (each ≤ 63).
+func NewRangeF0(bitsPerDim []int, cfg Config) (*RangeF0, error) {
+	for _, b := range bitsPerDim {
+		if b < 1 || b > 63 {
+			return nil, fmt.Errorf("mcf0: dimension width %d out of [1,63]", b)
+		}
+	}
+	return &RangeF0{
+		inner: setstream.NewRangeStream(bitsPerDim, cfg.setstreamOptions()),
+		bits:  append([]int(nil), bitsPerDim...),
+	}, nil
+}
+
+func (c Config) setstreamOptions() setstream.Options {
+	return setstream.Options{
+		Epsilon:    c.Epsilon,
+		Delta:      c.Delta,
+		Thresh:     c.Thresh,
+		Iterations: c.Iterations,
+		RNG:        c.rng(),
+	}
+}
+
+// AddRange absorbs the box ∏ᵢ [lo[i], hi[i]].
+func (r *RangeF0) AddRange(lo, hi []uint64) error {
+	if len(lo) != len(r.bits) || len(hi) != len(r.bits) {
+		return fmt.Errorf("mcf0: range has %d dims, sketch has %d", len(lo), len(r.bits))
+	}
+	dims := make([]formula.Range, len(lo))
+	for i := range lo {
+		dims[i] = formula.Range{Lo: lo[i], Hi: hi[i], Bits: r.bits[i]}
+	}
+	return r.inner.ProcessRange(formula.MultiRange{Dims: dims})
+}
+
+// Estimate returns the approximate union size.
+func (r *RangeF0) Estimate() float64 { return r.inner.Estimate() }
+
+// ProgressionF0 estimates distinct tuples covered by d-dimensional
+// arithmetic progressions with power-of-two steps (Corollary 1).
+type ProgressionF0 struct {
+	inner *setstream.ProgressionStream
+	bits  []int
+}
+
+// NewProgressionF0 builds a progression-stream sketch.
+func NewProgressionF0(bitsPerDim []int, cfg Config) (*ProgressionF0, error) {
+	for _, b := range bitsPerDim {
+		if b < 1 || b > 63 {
+			return nil, fmt.Errorf("mcf0: dimension width %d out of [1,63]", b)
+		}
+	}
+	return &ProgressionF0{
+		inner: setstream.NewProgressionStream(bitsPerDim, cfg.setstreamOptions()),
+		bits:  append([]int(nil), bitsPerDim...),
+	}, nil
+}
+
+// AddProgression absorbs ∏ᵢ {a[i], a[i]+2^logStep[i], …} ∩ [a[i], b[i]].
+func (p *ProgressionF0) AddProgression(a, b []uint64, logStep []int) error {
+	if len(a) != len(p.bits) || len(b) != len(p.bits) || len(logStep) != len(p.bits) {
+		return fmt.Errorf("mcf0: progression arity mismatch")
+	}
+	ps := make([]formula.Progression, len(a))
+	for i := range a {
+		ps[i] = formula.Progression{A: a[i], B: b[i], LogStep: logStep[i], Bits: p.bits[i]}
+	}
+	return p.inner.ProcessProgression(ps)
+}
+
+// Estimate returns the approximate union size.
+func (p *ProgressionF0) Estimate() float64 { return p.inner.Estimate() }
+
+// DNFSetF0 estimates F0 over a stream of DNF sets (Theorem 5), each given
+// as DIMACS-style term lists over a fixed n.
+type DNFSetF0 struct {
+	n     int
+	inner *setstream.DNFStream
+}
+
+// NewDNFSetF0 builds a DNF-set-stream sketch over n variables.
+func NewDNFSetF0(n int, cfg Config) *DNFSetF0 {
+	return &DNFSetF0{n: n, inner: setstream.NewDNFStream(n, cfg.setstreamOptions())}
+}
+
+// AddDNF absorbs one DNF set.
+func (d *DNFSetF0) AddDNF(terms [][]int) error {
+	f, err := dnfFromTerms(d.n, terms)
+	if err != nil {
+		return err
+	}
+	d.inner.ProcessDNF(f)
+	return nil
+}
+
+// AddElement absorbs one plain element (a singleton set).
+func (d *DNFSetF0) AddElement(x uint64) {
+	d.inner.ProcessElement(bitvec.FromUint64(x, d.n))
+}
+
+// Estimate returns the approximate union size.
+func (d *DNFSetF0) Estimate() float64 { return d.inner.Estimate() }
+
+// AffineF0 estimates F0 over a stream of affine spaces {x : Ax = b}
+// (Theorem 7), with n ≤ 64 and rows given as coefficient bitmasks (bit i of
+// rows[j] is the coefficient of variable i in row j).
+type AffineF0 struct {
+	n     int
+	inner *setstream.AffineStream
+}
+
+// NewAffineF0 builds an affine-stream sketch over an n-bit universe.
+func NewAffineF0(n int, cfg Config) (*AffineF0, error) {
+	if n < 1 || n > 64 {
+		return nil, fmt.Errorf("mcf0: universe width %d out of [1,64]", n)
+	}
+	return &AffineF0{n: n, inner: setstream.NewAffineStream(n, cfg.setstreamOptions())}, nil
+}
+
+// AddAffine absorbs {x : Ax = b}: row j's coefficients are the bits of
+// rows[j] (bit i ↔ variable i) and b's bit j is (rhs>>j)&1.
+func (a *AffineF0) AddAffine(rows []uint64, rhs uint64) {
+	m := gf2.NewMatrix(a.n)
+	for _, mask := range rows {
+		row := bitvec.New(a.n)
+		for i := 0; i < a.n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				row.Set(i, true)
+			}
+		}
+		m.AddRow(row)
+	}
+	b := bitvec.New(len(rows))
+	for j := range rows {
+		if rhs&(1<<uint(j)) != 0 {
+			b.Set(j, true)
+		}
+	}
+	a.inner.ProcessAffine(m, b)
+}
+
+// Estimate returns the approximate union size.
+func (a *AffineF0) Estimate() float64 { return a.inner.Estimate() }
+
+// CountWeightedDNF computes the weighted model count W(φ) of a DNF with
+// dyadic weights ρ(xᵢ) = num[i]/2^bits[i], via the paper's reduction to F0
+// over d-dimensional ranges.
+func CountWeightedDNF(n int, terms [][]int, num []uint64, bits []int, cfg Config) (float64, error) {
+	d, err := dnfFromTerms(n, terms)
+	if err != nil {
+		return 0, err
+	}
+	w := exact.WeightFunc{Num: num, Bits: bits}
+	if !w.Validate(n) {
+		return 0, fmt.Errorf("mcf0: invalid weight function (need 0 < num < 2^bits per variable)")
+	}
+	return setstream.WeightedCount(setstream.WeightedDNF{D: d, W: w}, cfg.setstreamOptions()), nil
+}
+
+// DistResult reports a distributed protocol's estimate and exact
+// communication cost in bits.
+type DistResult struct {
+	Estimate     float64
+	CommBits     int64
+	CoordToSites int64
+	SitesToCoord int64
+}
+
+// DistributedCountDNF partitions the DNF's terms round-robin over `sites`
+// sites and runs the selected distributed protocol (Section 4), returning
+// the coordinator's estimate and metered communication.
+// AlgorithmEstimation requires n ≤ 24.
+func DistributedCountDNF(n int, terms [][]int, sites int, alg Algorithm, cfg Config) (DistResult, error) {
+	d, err := dnfFromTerms(n, terms)
+	if err != nil {
+		return DistResult{}, err
+	}
+	if sites < 1 {
+		return DistResult{}, fmt.Errorf("mcf0: need at least one site")
+	}
+	parts := distributed.Split(d, sites)
+	opts := distributed.Options{
+		Epsilon:    cfg.Epsilon,
+		Delta:      cfg.Delta,
+		Thresh:     cfg.Thresh,
+		Iterations: cfg.Iterations,
+		RNG:        cfg.rng(),
+	}
+	var res distributed.Result
+	switch alg {
+	case AlgorithmBucketing, "":
+		res = distributed.Bucketing(parts, opts)
+	case AlgorithmMinimum:
+		res = distributed.Minimum(parts, opts)
+	case AlgorithmEstimation:
+		if n > 24 {
+			return DistResult{}, fmt.Errorf("mcf0: estimation protocol limited to 24 variables")
+		}
+		r, comm := distributed.RoughR(parts, opts.Iterations, opts)
+		if r < 0 {
+			return DistResult{Estimate: 0, CommBits: comm.Total()}, nil
+		}
+		res = distributed.Estimation(parts, r, opts)
+		res.Comm.CoordToSites += comm.CoordToSites
+		res.Comm.SitesToCoord += comm.SitesToCoord
+	default:
+		return DistResult{}, fmt.Errorf("mcf0: unknown distributed protocol %q", alg)
+	}
+	return DistResult{
+		Estimate:     res.Estimate,
+		CommBits:     res.Comm.Total(),
+		CoordToSites: res.Comm.CoordToSites,
+		SitesToCoord: res.Comm.SitesToCoord,
+	}, nil
+}
+
+// SampleDNFTerms draws count near-uniform satisfying assignments of a DNF
+// (given as DIMACS-style term lists), returned as bit strings ("0"/"1",
+// variable 1 first). Implements the paper's §6 sampling direction via the
+// bucketing sketch. Returns nil if the formula is unsatisfiable.
+func SampleDNFTerms(n int, terms [][]int, count int, cfg Config) ([]string, error) {
+	d, err := dnfFromTerms(n, terms)
+	if err != nil {
+		return nil, err
+	}
+	return renderSamples(counting.Sample(oracle.NewDNFSource(d), count, cfg.countingOptions())), nil
+}
+
+// SampleCNFClauses draws count near-uniform satisfying assignments of a
+// CNF via the SAT-backed oracle. Returns nil if unsatisfiable.
+func SampleCNFClauses(n int, clauses [][]int, count int, cfg Config) ([]string, error) {
+	c := formula.NewCNF(n)
+	for _, cl := range clauses {
+		lits, err := dimacsLits(n, cl)
+		if err != nil {
+			return nil, err
+		}
+		c.AddClause(formula.Clause(lits))
+	}
+	return renderSamples(counting.Sample(oracle.NewCNFSource(c), count, cfg.countingOptions())), nil
+}
+
+func renderSamples(xs []bitvec.BitVec) []string {
+	if xs == nil {
+		return nil
+	}
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = x.String()
+	}
+	return out
+}
+
+// WithinFactor reports whether est is within the (1+eps) band around truth
+// — the acceptance predicate of every experiment in EXPERIMENTS.md.
+func WithinFactor(est, truth, eps float64) bool {
+	return stats.WithinFactor(est, truth, eps)
+}
+
+// Log2 is a convenience for reporting counts on a log scale.
+func Log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,227 @@
+package mcf0
+
+import (
+	"strings"
+	"testing"
+)
+
+func fastCfg(seed uint64) Config {
+	return Config{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 9, Seed: seed}
+}
+
+const smallDNF = `p dnf 10 3
+1 2 0
+-3 4 5 0
+6 -7 8 0
+`
+
+const smallCNF = `p cnf 8 4
+1 2 3 0
+-1 4 0
+-2 -5 6 0
+7 8 0
+`
+
+func TestCountDNFAllAlgorithms(t *testing.T) {
+	truth, err := ExactCountDNFTerms(10, [][]int{{1, 2}, {-3, 4, 5}, {6, -7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgorithmBucketing, AlgorithmMinimum, AlgorithmEstimation, AlgorithmKarpLuby} {
+		ok := 0
+		const trials = 8
+		for s := 0; s < trials; s++ {
+			res, err := CountDNF(strings.NewReader(smallDNF), alg, fastCfg(uint64(10+s)))
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if WithinFactor(res.Estimate, float64(truth), 0.8) {
+				ok++
+			}
+		}
+		if ok < trials/2 {
+			t.Errorf("%s: within band only %d/%d (truth %d)", alg, ok, trials, truth)
+		}
+	}
+}
+
+func TestCountCNFBucketingAndMinimum(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmBucketing, AlgorithmMinimum} {
+		res, err := CountCNF(strings.NewReader(smallCNF), alg, fastCfg(3))
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Estimate <= 0 {
+			t.Errorf("%s: non-positive estimate %g", alg, res.Estimate)
+		}
+		if res.OracleQueries == 0 {
+			t.Errorf("%s: oracle queries not metered", alg)
+		}
+	}
+	if _, err := CountCNF(strings.NewReader(smallCNF), AlgorithmKarpLuby, fastCfg(1)); err == nil {
+		t.Error("KarpLuby accepted a CNF")
+	}
+}
+
+func TestCountClausesValidation(t *testing.T) {
+	if _, err := CountCNFClauses(3, [][]int{{4}}, AlgorithmBucketing, fastCfg(1)); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+	if _, err := CountDNFTerms(3, [][]int{{0}}, AlgorithmMinimum, fastCfg(1)); err == nil {
+		t.Error("zero literal accepted")
+	}
+}
+
+func TestF0Sketches(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmBucketing, AlgorithmMinimum} {
+		f, err := NewF0(20, alg, fastCfg(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 500; i++ {
+			f.Add(i % 100) // 100 distinct
+		}
+		if !WithinFactor(f.Estimate(), 100, 0.8) {
+			t.Errorf("%s: estimate %g for F0=100", alg, f.Estimate())
+		}
+		if f.SketchWords() == 0 {
+			t.Errorf("%s: sketch reports zero size", alg)
+		}
+	}
+	if _, err := NewF0(70, AlgorithmBucketing, fastCfg(1)); err == nil {
+		t.Error("70-bit universe accepted")
+	}
+}
+
+func TestRangeF0(t *testing.T) {
+	r, err := NewRangeF0([]int{8, 8}, fastCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint 2×2 boxes: 8 tuples, below Thresh, so the count is
+	// exact.
+	if err := r.AddRange([]uint64{0, 0}, []uint64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddRange([]uint64{100, 100}, []uint64{101, 101}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Estimate(); got != 8 {
+		t.Errorf("range union = %g, want exactly 8 (below Thresh)", got)
+	}
+	if err := r.AddRange([]uint64{0}, []uint64{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestProgressionF0(t *testing.T) {
+	p, err := NewProgressionF0([]int{8}, fastCfg(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0,4,8,...,20: 6 elements.
+	if err := p.AddProgression([]uint64{0}, []uint64{20}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Estimate(); got != 6 {
+		t.Errorf("progression count = %g, want 6", got)
+	}
+}
+
+func TestDNFSetF0(t *testing.T) {
+	d := NewDNFSetF0(10, fastCfg(11))
+	if err := d.AddDNF([][]int{{1, 2, 3, 4, 5, 6, 7}}); err != nil { // 8 solutions
+		t.Fatal(err)
+	}
+	d.AddElement(0) // all-false assignment, not in the term above
+	if got := d.Estimate(); got != 9 {
+		t.Errorf("DNF set union = %g, want 9", got)
+	}
+}
+
+func TestAffineF0(t *testing.T) {
+	a, err := NewAffineF0(10, fastCfg(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x0 = 1 and x1 = 0: 2^8 = 256 solutions.
+	a.AddAffine([]uint64{0b01, 0b10}, 0b01)
+	est := a.Estimate()
+	if !WithinFactor(est, 256, 0.8) {
+		t.Errorf("affine estimate %g for 256 solutions", est)
+	}
+}
+
+func TestCountWeightedDNF(t *testing.T) {
+	// φ = x1 with ρ(x1) = 1/2, ρ(x2) = 1/2: W = 0.5.
+	got, err := CountWeightedDNF(2, [][]int{{1}}, []uint64{2, 2}, []int{2, 2}, fastCfg(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !WithinFactor(got, 0.5, 0.8) {
+		t.Errorf("weighted count %g, want ≈0.5", got)
+	}
+	if _, err := CountWeightedDNF(2, [][]int{{1}}, []uint64{0, 1}, []int{2, 2}, fastCfg(1)); err == nil {
+		t.Error("invalid weights accepted")
+	}
+}
+
+func TestDistributedCountDNF(t *testing.T) {
+	terms := [][]int{{1, 2}, {-3, 4}, {5, 6}, {-1, -2, 7}}
+	truth, err := ExactCountDNFTerms(12, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgorithmBucketing, AlgorithmMinimum, AlgorithmEstimation} {
+		res, err := DistributedCountDNF(12, terms, 3, alg, fastCfg(17))
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.CommBits == 0 || res.CommBits != res.CoordToSites+res.SitesToCoord {
+			t.Errorf("%s: inconsistent communication accounting", alg)
+		}
+		if !WithinFactor(res.Estimate, float64(truth), 1.5) {
+			t.Errorf("%s: distributed estimate %g far from %d", alg, res.Estimate, truth)
+		}
+	}
+	if _, err := DistributedCountDNF(12, terms, 0, AlgorithmMinimum, fastCfg(1)); err == nil {
+		t.Error("zero sites accepted")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	terms := [][]int{{1, 2}, {-3, 4}}
+	samples, err := SampleDNFTerms(10, terms, 15, fastCfg(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 15 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if len(s) != 10 {
+			t.Fatalf("sample %q has wrong width", s)
+		}
+		// Satisfies (x1∧x2) ∨ (¬x3∧x4)?
+		sat := (s[0] == '1' && s[1] == '1') || (s[2] == '0' && s[3] == '1')
+		if !sat {
+			t.Fatalf("sample %q violates the formula", s)
+		}
+	}
+	// CNF path + unsat path.
+	cs, err := SampleCNFClauses(6, [][]int{{1}, {-1}}, 5, fastCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != nil {
+		t.Fatal("unsat CNF produced samples")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := CountDNF(strings.NewReader(smallDNF), AlgorithmMinimum, fastCfg(42))
+	b, _ := CountDNF(strings.NewReader(smallDNF), AlgorithmMinimum, fastCfg(42))
+	if a.Estimate != b.Estimate {
+		t.Error("equal seeds produced different estimates")
+	}
+}
