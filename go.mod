@@ -1,0 +1,3 @@
+module mcf0
+
+go 1.24

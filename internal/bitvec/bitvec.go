@@ -5,9 +5,39 @@
 // left-to-right, so bit index i corresponds to position i+1 of the string.
 // Trailing zeros are counted from the least significant end (position n-1),
 // matching the TrailZero procedure of the paper.
+//
+// Storage is little-endian within words: bit i lives at words[i/64], bit
+// position i%64. Every operation maintains the invariant that the unused
+// high bits of the last word are zero, which is what lets the kernels below
+// run word-parallel (64 positions per machine operation) instead of
+// bit-at-a-time.
+//
+// # Destination-passing variants and ownership
+//
+// The *Into methods (XorInto, PrefixInto, WindowInto, CopyFrom, plus
+// SetUint64 and FillRandom) write their result into a caller-owned vector
+// instead of allocating a fresh one. The contract is:
+//
+//   - the destination must have been allocated by the caller with the
+//     correct width (the methods panic on width mismatch, they never
+//     resize);
+//   - the destination must not alias the receiver or other operands unless
+//     a method's doc comment explicitly allows it;
+//   - the callee never retains the destination; after the call the caller
+//     remains the unique owner and may reuse the vector for the next
+//     iteration.
+//
+// Enumeration loops (hash evaluation, sketch updates, Gaussian elimination)
+// use these to run allocation-free: allocate scratch once, then evaluate
+// into it millions of times.
 package bitvec
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"unsafe"
+)
 
 // BitVec is a fixed-width vector of bits.
 type BitVec struct {
@@ -25,6 +55,32 @@ func New(n int) BitVec {
 	return BitVec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// NewSlab returns count independent width-n vectors whose word storage is
+// carved from a single allocation. The vectors behave exactly like New(n)
+// results; the shared backing array only reduces allocator pressure when a
+// caller needs many rows at once (hash matrices, sketch cells).
+func NewSlab(n, count int) []BitVec {
+	vs, _ := NewSlabWords(n, count)
+	return vs
+}
+
+// NewSlabWords is NewSlab exposing the backing word array as well: vector i
+// occupies words[i*stride : (i+1)*stride] with stride = ⌈n/64⌉. Kernels
+// that stream over many rows (GF(2) matrix-vector products) use the flat
+// array to avoid a pointer chase per row.
+func NewSlabWords(n, count int) ([]BitVec, []uint64) {
+	if n < 0 || count < 0 {
+		panic("bitvec: negative slab dimensions")
+	}
+	wpr := (n + wordBits - 1) / wordBits
+	words := make([]uint64, wpr*count)
+	vs := make([]BitVec, count)
+	for i := range vs {
+		vs[i] = BitVec{n: n, words: words[i*wpr : (i+1)*wpr : (i+1)*wpr]}
+	}
+	return vs, words
+}
+
 // FromUint64 returns an n-bit vector whose string form is the n-bit binary
 // representation of v (most significant bit first). n must be at most 64.
 func FromUint64(v uint64, n int) BitVec {
@@ -32,12 +88,22 @@ func FromUint64(v uint64, n int) BitVec {
 		panic("bitvec: FromUint64 width exceeds 64")
 	}
 	b := New(n)
-	for i := 0; i < n; i++ {
-		if v&(1<<(n-1-i)) != 0 {
-			b.Set(i, true)
-		}
-	}
+	b.SetUint64(v)
 	return b
+}
+
+// SetUint64 overwrites the vector (width ≤ 64) with the n-bit binary
+// representation of v, most significant bit first — the in-place form of
+// FromUint64. Bits of v at or above position n are ignored.
+func (b BitVec) SetUint64(v uint64) {
+	if b.n > 64 {
+		panic("bitvec: SetUint64 width exceeds 64")
+	}
+	if b.n == 0 {
+		return
+	}
+	// Vector bit i is bit n-1-i of v: reverse the low n bits into place.
+	b.words[0] = bits.Reverse64(v << (wordBits - uint(b.n)))
 }
 
 // Uint64 returns the integer whose n-bit binary representation equals the
@@ -46,14 +112,10 @@ func (b BitVec) Uint64() uint64 {
 	if b.n > 64 {
 		panic("bitvec: Uint64 width exceeds 64")
 	}
-	var v uint64
-	for i := 0; i < b.n; i++ {
-		v <<= 1
-		if b.Get(i) {
-			v |= 1
-		}
+	if b.n == 0 {
+		return 0
 	}
-	return v
+	return bits.Reverse64(b.words[0]) >> (wordBits - uint(b.n))
 }
 
 // FromString parses a string of '0' and '1' runes.
@@ -95,7 +157,12 @@ func (b BitVec) Set(i int, v bool) {
 }
 
 // Flip toggles bit i.
-func (b BitVec) Flip(i int) { b.Set(i, !b.Get(i)) }
+func (b BitVec) Flip(i int) {
+	if i < 0 || i >= b.n {
+		panic("bitvec: index out of range")
+	}
+	b.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
 
 // Clone returns an independent copy.
 func (b BitVec) Clone() BitVec {
@@ -104,13 +171,45 @@ func (b BitVec) Clone() BitVec {
 	return BitVec{n: b.n, words: w}
 }
 
+// CopyFrom overwrites b with o. Widths must match.
+func (b BitVec) CopyFrom(o BitVec) {
+	if b.n != o.n {
+		panic("bitvec: width mismatch")
+	}
+	copy(b.words, o.words)
+}
+
+// Words exposes the underlying word storage: bit i lives at Words()[i/64],
+// bit position i%64, and the unused high bits of the last word are always
+// zero. The slice aliases the vector — writes through it mutate the vector,
+// and writers must preserve the excess-bit invariant. It exists for
+// performance-critical kernels (GF(2) elimination); ordinary callers should
+// stay on the method API.
+func (b BitVec) Words() []uint64 { return b.words }
+
 // XorInPlace sets b to b XOR o. Widths must match.
 func (b BitVec) XorInPlace(o BitVec) {
 	if b.n != o.n {
 		panic("bitvec: width mismatch")
 	}
-	for i := range b.words {
-		b.words[i] ^= o.words[i]
+	bw := b.words
+	ow := o.words[:len(bw)]
+	for i := range bw {
+		bw[i] ^= ow[i]
+	}
+}
+
+// XorInto writes b XOR o into dst without allocating. All three vectors
+// must share one width; dst may alias b or o.
+func (b BitVec) XorInto(o, dst BitVec) {
+	if b.n != o.n || b.n != dst.n {
+		panic("bitvec: width mismatch")
+	}
+	dw := dst.words
+	bw := b.words[:len(dw)]
+	ow := o.words[:len(dw)]
+	for i := range dw {
+		dw[i] = bw[i] ^ ow[i]
 	}
 }
 
@@ -129,20 +228,34 @@ func (b BitVec) AndPopCount(o BitVec) int {
 		panic("bitvec: width mismatch")
 	}
 	c := 0
-	for i := range b.words {
-		c += popcount64(b.words[i] & o.words[i])
+	bw := b.words
+	ow := o.words[:len(bw)]
+	for i := range bw {
+		c += bits.OnesCount64(bw[i] & ow[i])
 	}
 	return c
 }
 
-// Dot returns the GF(2) inner product of b and o.
-func (b BitVec) Dot(o BitVec) bool { return b.AndPopCount(o)&1 == 1 }
+// Dot returns the GF(2) inner product of b and o. Parity is additive mod
+// 2, so the AND words are XOR-folded first and a single popcount finishes.
+func (b BitVec) Dot(o BitVec) bool {
+	if b.n != o.n {
+		panic("bitvec: width mismatch")
+	}
+	var fold uint64
+	bw := b.words
+	ow := o.words[:len(bw)]
+	for i := range bw {
+		fold ^= bw[i] & ow[i]
+	}
+	return bits.OnesCount64(fold)&1 == 1
+}
 
 // PopCount returns the number of set bits.
 func (b BitVec) PopCount() int {
 	c := 0
 	for _, w := range b.words {
-		c += popcount64(w)
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
@@ -172,15 +285,19 @@ func (b BitVec) Equal(o BitVec) bool {
 
 // Cmp compares b and o lexicographically as bit strings (position 0 first).
 // It returns -1, 0, or +1. Widths must match.
+//
+// The first differing string position is the lowest differing bit index, so
+// one XOR and a trailing-zeros count decide each word.
 func (b BitVec) Cmp(o BitVec) int {
 	if b.n != o.n {
 		panic("bitvec: width mismatch")
 	}
-	for i := 0; i < b.n; i++ {
-		x, y := b.Get(i), o.Get(i)
-		if x != y {
-			if y {
-				return -1
+	bw := b.words
+	ow := o.words[:len(bw)]
+	for i := range bw {
+		if d := bw[i] ^ ow[i]; d != 0 {
+			if ow[i]&(d&-d) != 0 {
+				return -1 // o has the 1 at the first differing position
 			}
 			return 1
 		}
@@ -189,17 +306,49 @@ func (b BitVec) Cmp(o BitVec) int {
 }
 
 // Less reports whether b precedes o lexicographically.
-func (b BitVec) Less(o BitVec) bool { return b.Cmp(o) < 0 }
+func (b BitVec) Less(o BitVec) bool {
+	if b.n != o.n {
+		panic("bitvec: width mismatch")
+	}
+	bw := b.words
+	ow := o.words[:len(bw)]
+	for i := range bw {
+		if d := bw[i] ^ ow[i]; d != 0 {
+			return ow[i]&(d&-d) != 0
+		}
+	}
+	return false
+}
 
 // TrailingZeros returns the number of consecutive zero bits at the least
 // significant (rightmost string) end. A zero vector has n trailing zeros.
 func (b BitVec) TrailingZeros() int {
+	if b.n == 0 {
+		return 0
+	}
+	last := len(b.words) - 1
 	c := 0
-	for i := b.n - 1; i >= 0; i-- {
-		if b.Get(i) {
-			return c
+	// The last word holds positions [64·last, n); shift its window so the
+	// highest position sits at bit 63, then leading zeros count string
+	// trailing zeros.
+	w := b.words[last]
+	if rem := uint(b.n) % wordBits; rem != 0 {
+		w <<= wordBits - rem
+		if w != 0 {
+			return bits.LeadingZeros64(w)
 		}
-		c++
+		c = int(rem)
+	} else {
+		if w != 0 {
+			return bits.LeadingZeros64(w)
+		}
+		c = wordBits
+	}
+	for i := last - 1; i >= 0; i-- {
+		if w := b.words[i]; w != 0 {
+			return c + bits.LeadingZeros64(w)
+		}
+		c += wordBits
 	}
 	return c
 }
@@ -207,14 +356,23 @@ func (b BitVec) TrailingZeros() int {
 // LeadingZeros returns the number of consecutive zero bits at position 0
 // onward, i.e. the length of the all-zero prefix.
 func (b BitVec) LeadingZeros() int {
-	c := 0
-	for i := 0; i < b.n; i++ {
-		if b.Get(i) {
-			return c
+	for i, w := range b.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
 		}
-		c++
 	}
-	return c
+	return b.n
+}
+
+// FirstSet returns the index of the first set position (equivalently
+// LeadingZeros when a bit is set), or -1 for the zero vector.
+func (b BitVec) FirstSet() int {
+	for i, w := range b.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
 }
 
 // HasZeroPrefix reports whether the first m bits are all zero.
@@ -222,39 +380,93 @@ func (b BitVec) HasZeroPrefix(m int) bool {
 	if m > b.n {
 		panic("bitvec: prefix longer than vector")
 	}
-	for i := 0; i < m; i++ {
-		if b.Get(i) {
+	k := m / wordBits
+	for i := 0; i < k; i++ {
+		if b.words[i] != 0 {
 			return false
 		}
+	}
+	if rem := uint(m) % wordBits; rem != 0 {
+		return b.words[k]&((1<<rem)-1) == 0
 	}
 	return true
 }
 
 // Prefix returns the first m bits as a fresh m-bit vector.
 func (b BitVec) Prefix(m int) BitVec {
-	if m > b.n {
-		panic("bitvec: prefix longer than vector")
-	}
 	p := New(m)
-	for i := 0; i < m; i++ {
-		if b.Get(i) {
-			p.Set(i, true)
-		}
-	}
+	b.PrefixInto(p)
 	return p
 }
 
-// String renders the vector as a bit string, position 0 first.
+// PrefixInto copies the first dst.Len() bits of b into dst, which must be
+// no wider than b.
+func (b BitVec) PrefixInto(dst BitVec) {
+	if dst.n > b.n {
+		panic("bitvec: prefix longer than vector")
+	}
+	dw := dst.words
+	copy(dw, b.words[:len(dw)])
+	if rem := uint(dst.n) % wordBits; rem != 0 {
+		dw[len(dw)-1] &= (1 << rem) - 1
+	}
+}
+
+// WindowInto copies bits [off, off+dst.Len()) of b into dst — the
+// word-parallel slice primitive behind Toeplitz row construction.
+func (b BitVec) WindowInto(off int, dst BitVec) {
+	if off < 0 || off+dst.n > b.n {
+		panic("bitvec: window out of range")
+	}
+	if dst.n == 0 {
+		return
+	}
+	sw := off / wordBits
+	sh := uint(off) % wordBits
+	bw := b.words
+	dw := dst.words
+	for i := range dw {
+		w := bw[sw+i] >> sh
+		if sh != 0 && sw+i+1 < len(bw) {
+			w |= bw[sw+i+1] << (wordBits - sh)
+		}
+		dw[i] = w
+	}
+	if rem := uint(dst.n) % wordBits; rem != 0 {
+		dw[len(dw)-1] &= (1 << rem) - 1
+	}
+}
+
+// String renders the vector as a bit string, position 0 first. Eight
+// positions are rendered per step by spreading one byte of the word into
+// eight '0'/'1' bytes with a mask-and-carry trick.
 func (b BitVec) String() string {
 	buf := make([]byte, b.n)
-	for i := 0; i < b.n; i++ {
-		if b.Get(i) {
-			buf[i] = '1'
-		} else {
-			buf[i] = '0'
+	pos := 0
+	for _, w := range b.words {
+		for s := 0; s < wordBits && pos < b.n; s += 8 {
+			if b.n-pos >= 8 {
+				binary.LittleEndian.PutUint64(buf[pos:pos+8], spreadBits(byte(w>>uint(s))))
+				pos += 8
+			} else {
+				// Tail shorter than a byte: per-bit.
+				for j := 0; pos < b.n; j++ {
+					buf[pos] = '0' + byte((w>>uint(s+j))&1)
+					pos++
+				}
+			}
 		}
 	}
-	return string(buf)
+	// buf is function-local and never written again: aliasing it as the
+	// result string is safe and saves the copy string(buf) would make.
+	return unsafe.String(unsafe.SliceData(buf), len(buf))
+}
+
+// spreadBits expands the 8 bits of v into 8 bytes, byte i = '0' + bit i.
+func spreadBits(v byte) uint64 {
+	x := uint64(v) * 0x0101010101010101 & 0x8040201008040201
+	x = ((x + 0x7f7f7f7f7f7f7f7f) >> 7) & 0x0101010101010101
+	return x + 0x3030303030303030
 }
 
 // Fraction interprets the vector (position 0 first) as a binary fraction
@@ -262,23 +474,25 @@ func (b BitVec) String() string {
 // equal width agrees with numeric order on fractions (up to the 53-bit
 // truncation), which is what the k-minimum-values estimator needs.
 func (b BitVec) Fraction() float64 {
-	f := 0.0
-	scale := 0.5
 	limit := b.n
 	if limit > 53 {
 		limit = 53
 	}
-	for i := 0; i < limit; i++ {
-		if b.Get(i) {
-			f += scale
-		}
-		scale /= 2
+	if limit == 0 {
+		return 0
 	}
-	return f
+	// The first `limit` positions read MSB-first form an integer < 2^53,
+	// exact in float64.
+	v := bits.Reverse64(b.words[0]) >> (wordBits - uint(limit))
+	return math.Ldexp(float64(v), -limit)
 }
 
 // Key returns a compact string usable as a map key. Vectors of equal width
 // have equal keys iff they are equal.
+//
+// Deprecated-for-hot-paths: every call allocates the returned string.
+// Enumeration and sketch loops should use Fingerprint, which is a
+// fixed-size comparable value.
 func (b BitVec) Key() string {
 	buf := make([]byte, 0, len(b.words)*8)
 	for _, w := range b.words {
@@ -289,18 +503,61 @@ func (b BitVec) Key() string {
 	return string(buf)
 }
 
+// Fingerprint is a fixed-size comparable digest of a BitVec, usable
+// directly as a map key with zero allocation per lookup. For widths up to
+// 128 bits it is exact: two vectors of equal width have equal fingerprints
+// iff they are equal. Beyond 128 bits the remaining words are folded in
+// with a 128-bit mix, so distinct vectors collide with probability ~2^-128
+// per pair — negligible against the (ε, δ) guarantees of every algorithm
+// in this repository.
+type Fingerprint struct {
+	lo, hi uint64
+	n      uint32
+}
+
+// Fingerprint digests the vector; see the Fingerprint type for the
+// collision contract.
+func (b BitVec) Fingerprint() Fingerprint {
+	f := Fingerprint{n: uint32(b.n)}
+	switch len(b.words) {
+	case 0:
+	case 1:
+		f.lo = b.words[0]
+	case 2:
+		f.lo, f.hi = b.words[0], b.words[1]
+	default:
+		f.lo, f.hi = b.words[0], b.words[1]
+		for _, w := range b.words[2:] {
+			f.lo = mix64(f.lo ^ (w * 0x9e3779b97f4a7c15))
+			f.hi = mix64(f.hi + bits.RotateLeft64(w, 31) + 0xd1342543de82ef95)
+		}
+	}
+	return f
+}
+
+// mix64 is the splitmix64 finalizer, a bijection on uint64.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Random fills an n-bit vector using next as the entropy source; next is
 // called once per 64-bit word. Excess high bits of the last word are masked
 // so that Equal and Key behave correctly.
 func Random(n int, next func() uint64) BitVec {
 	b := New(n)
-	for i := range b.words {
-		b.words[i] = next()
-	}
-	if rem := n % wordBits; rem != 0 && len(b.words) > 0 {
-		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
-	}
+	b.FillRandom(next)
 	return b
 }
 
-func popcount64(x uint64) int { return bits.OnesCount64(x) }
+// FillRandom overwrites b with random bits from next (one call per word),
+// masking the excess bits of the last word — the in-place form of Random.
+func (b BitVec) FillRandom(next func() uint64) {
+	for i := range b.words {
+		b.words[i] = next()
+	}
+	if rem := uint(b.n) % wordBits; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}

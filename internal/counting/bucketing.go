@@ -33,6 +33,11 @@ func BoundedSAT(src oracle.Source, h *hash.Linear, m, thresh int) (int, []bitvec
 // With Options.BinarySearch, the prefix length is located by the galloping
 // binary search of ApproxMC2, reducing oracle calls from O(n) to O(log n)
 // per trial (ablation A2).
+//
+// The t trials are independent and run across Options.Parallelism workers:
+// all hash functions are drawn serially up front (the only randomness in a
+// trial), and stateful oracle backends are forked per trial, so results
+// are identical to a serial run for a fixed seed.
 func ApproxMC(src oracle.Source, opts Options) Result {
 	n := src.NVars()
 	thresh := opts.thresh()
@@ -45,19 +50,23 @@ func ApproxMC(src oracle.Source, opts Options) Result {
 		}
 		fam = opts.Family
 	}
-	res := Result{Iterations: t}
+	res := Result{Iterations: t, PerIteration: make([]float64, t)}
+	hs := make([]*hash.Linear, t)
+	for i := range hs {
+		hs[i] = fam.Draw(rng.Uint64).(*hash.Linear)
+	}
+	ts, workers := newTrialSources(src, t, opts.parallelism())
 	before := src.Queries()
-	for i := 0; i < t; i++ {
-		h := fam.Draw(rng.Uint64).(*hash.Linear)
+	runTrials(t, workers, func(i int) {
 		var m, c int
 		if opts.BinarySearch {
-			m, c = searchPrefixBinary(src, h, thresh)
+			m, c = searchPrefixBinary(ts.at(i), hs[i], thresh)
 		} else {
-			m, c = searchPrefixLinear(src, h, thresh)
+			m, c = searchPrefixLinear(ts.at(i), hs[i], thresh)
 		}
-		res.PerIteration = append(res.PerIteration, float64(c)*math.Pow(2, float64(m)))
-	}
-	res.OracleQueries = src.Queries() - before
+		res.PerIteration[i] = float64(c) * math.Pow(2, float64(m))
+	})
+	res.OracleQueries = ts.queriesSince(before)
 	res.Estimate = stats.Median(res.PerIteration)
 	return res
 }

@@ -75,25 +75,33 @@ func FindMaxRangeLinear(src oracle.Source, h *hash.Linear) int {
 // estimator of Lemma 3, which requires a range parameter r with
 // 2·F0 ≤ 2^r ≤ 50·F0 (obtain one with RoughCount). n must be ≤ 64 (the
 // polynomial family's field size).
+// Trials run across Options.Parallelism workers: the t·Thresh hash
+// functions are drawn serially up front (in trial-major order, matching a
+// serial run), and the tester is forked per trial when it supports
+// oracle.Forkable; otherwise execution falls back to serial.
 func ApproxModelCountEst(tz oracle.TrailingZeroTester, n, r int, opts Options) Result {
 	thresh := opts.thresh()
 	t := opts.iterations()
 	rng := opts.rng()
 	s := swiseIndependence(opts.epsilon())
 	fam := hash.NewPoly(n, s)
+	hs := make([]hash.Func, t*thresh)
+	for i := range hs {
+		hs[i] = fam.Draw(rng.Uint64)
+	}
+	tt, workers := newTrialTesters(tz, t, opts.parallelism())
 	before := tz.Queries()
-	res := Result{Iterations: t}
-	for i := 0; i < t; i++ {
+	res := Result{Iterations: t, PerIteration: make([]float64, t)}
+	runTrials(t, workers, func(i int) {
 		hits := 0
 		for j := 0; j < thresh; j++ {
-			h := fam.Draw(rng.Uint64)
-			if FindMaxRange(tz, h, n) >= r {
+			if FindMaxRange(tt.at(i), hs[i*thresh+j], n) >= r {
 				hits++
 			}
 		}
-		res.PerIteration = append(res.PerIteration, stats.CouponEstimate(hits, thresh, r))
-	}
-	res.OracleQueries = tz.Queries() - before
+		res.PerIteration[i] = stats.CouponEstimate(hits, thresh, r)
+	})
+	res.OracleQueries = tt.queriesSince(before)
 	res.Estimate = stats.Median(res.PerIteration)
 	return res
 }

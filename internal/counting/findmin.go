@@ -169,7 +169,18 @@ type FindMinFunc func(h *hash.Linear, p int) []bitvec.BitVec
 // binary fraction in [0, 1). If fewer than Thresh values exist, the image
 // is exhausted and its size is the (then exact, since h is injective on
 // Sol(φ) w.h.p. at range 3n) estimate.
+//
+// Trials run across Options.Parallelism workers; findMin must be safe for
+// concurrent calls unless Parallelism is 1 (FindMinDNF is: it only reads
+// the formula and hash).
 func ApproxModelCountMin(n int, findMin FindMinFunc, opts Options) Result {
+	return approxMinTrials(n, func(int) FindMinFunc { return findMin }, opts, opts.parallelism())
+}
+
+// approxMinTrials is the shared Algorithm 6 engine: findMinFor(i) supplies
+// trial i's FindMin (letting oracle backends hand every trial its own
+// fork); workers bounds the pool.
+func approxMinTrials(n int, findMinFor func(trial int) FindMinFunc, opts Options, workers int) Result {
 	thresh := opts.thresh()
 	t := opts.iterations()
 	rng := opts.rng()
@@ -180,10 +191,13 @@ func ApproxModelCountMin(n int, findMin FindMinFunc, opts Options) Result {
 		}
 		fam = opts.Family
 	}
-	res := Result{Iterations: t}
-	for i := 0; i < t; i++ {
-		h := fam.Draw(rng.Uint64).(*hash.Linear)
-		mins := findMin(h, thresh)
+	res := Result{Iterations: t, PerIteration: make([]float64, t)}
+	hs := make([]*hash.Linear, t)
+	for i := range hs {
+		hs[i] = fam.Draw(rng.Uint64).(*hash.Linear)
+	}
+	runTrials(t, workers, func(i int) {
+		mins := findMinFor(i)(hs[i], thresh)
 		var est float64
 		if len(mins) < thresh {
 			est = float64(len(mins))
@@ -195,8 +209,8 @@ func ApproxModelCountMin(n int, findMin FindMinFunc, opts Options) Result {
 				est = float64(thresh) / maxFrac
 			}
 		}
-		res.PerIteration = append(res.PerIteration, est)
-	}
+		res.PerIteration[i] = est
+	})
 	res.Estimate = stats.Median(res.PerIteration)
 	return res
 }
@@ -211,12 +225,17 @@ func ApproxModelCountMinDNF(d *formula.DNF, opts Options) Result {
 
 // ApproxModelCountMinOracle runs Algorithm 6 against an NP-oracle backend
 // (Theorem 3's CNF case: O(p·n·log(1/δ)/ε²) oracle calls), metering
-// queries.
+// queries. Trials fork the source when running in parallel.
 func ApproxModelCountMinOracle(src oracle.Source, opts Options) Result {
+	t := opts.iterations()
+	ts, workers := newTrialSources(src, t, opts.parallelism())
 	before := src.Queries()
-	res := ApproxModelCountMin(src.NVars(), func(h *hash.Linear, p int) []bitvec.BitVec {
-		return FindMinOracle(src, h, p)
-	}, opts)
-	res.OracleQueries = src.Queries() - before
+	res := approxMinTrials(src.NVars(), func(i int) FindMinFunc {
+		s := ts.at(i)
+		return func(h *hash.Linear, p int) []bitvec.BitVec {
+			return FindMinOracle(s, h, p)
+		}
+	}, opts, workers)
+	res.OracleQueries = ts.queriesSince(before)
 	return res
 }

@@ -48,18 +48,27 @@ func KarpLuby(d *formula.DNF, opts Options) Result {
 		return res
 	}
 	samplesPerGroup := int(math.Ceil(8 * float64(k) / (opts.epsilon() * opts.epsilon())))
-	for g := 0; g < t; g++ {
+	// Each median group gets its own RNG stream seeded serially, so groups
+	// are independent of the worker count and a fixed seed reproduces the
+	// same estimate at any parallelism level.
+	seeds := make([]uint64, t)
+	for g := range seeds {
+		seeds[g] = rng.Uint64()
+	}
+	res.PerIteration = make([]float64, t)
+	runTrials(t, opts.parallelism(), func(g int) {
+		grng := stats.NewRNG(seeds[g])
+		x := bitvec.New(d.N)
 		hits := 0
 		for s := 0; s < samplesPerGroup; s++ {
-			i := sampleIndex(weights, totalW, rng)
-			x := sampleTermSolution(d.N, norms[i], rng)
+			i := sampleIndex(weights, totalW, grng)
+			sampleTermSolutionInto(norms[i], grng, x)
 			if firstSatisfiedTerm(d, x) == i {
 				hits++
 			}
 		}
-		res.PerIteration = append(res.PerIteration,
-			totalW*float64(hits)/float64(samplesPerGroup))
-	}
+		res.PerIteration[g] = totalW * float64(hits) / float64(samplesPerGroup)
+	})
 	res.Estimate = stats.Median(res.PerIteration)
 	return res
 }
@@ -76,14 +85,14 @@ func sampleIndex(weights []float64, total float64, rng *stats.RNG) int {
 	return len(weights) - 1
 }
 
-// sampleTermSolution draws a uniform satisfying assignment of a consistent
-// normalized term: fixed literals as dictated, free variables uniform.
-func sampleTermSolution(n int, t formula.Term, rng *stats.RNG) bitvec.BitVec {
-	x := bitvec.Random(n, rng.Uint64)
+// sampleTermSolutionInto draws a uniform satisfying assignment of a
+// consistent normalized term into x (caller-owned scratch): fixed literals
+// as dictated, free variables uniform.
+func sampleTermSolutionInto(t formula.Term, rng *stats.RNG, x bitvec.BitVec) {
+	x.FillRandom(rng.Uint64)
 	for _, l := range t {
 		x.Set(l.Var, !l.Neg)
 	}
-	return x
 }
 
 func firstSatisfiedTerm(d *formula.DNF, x bitvec.BitVec) int {

@@ -12,12 +12,20 @@
 //
 // All algorithms run against the oracle abstractions of internal/oracle, so
 // accuracy experiments and oracle-call accounting are backend-independent.
+//
+// The 35·log₂(1/δ) independent median trials of every counter run across a
+// bounded worker pool (Options.Parallelism, default GOMAXPROCS). All
+// randomness is drawn serially before the pool starts and stateful oracle
+// backends are forked per trial (oracle.Forkable), so estimates,
+// PerIteration values, and oracle-query totals for a fixed seed are
+// identical at every parallelism level.
 package counting
 
 import (
 	"math"
 
 	"mcf0/internal/hash"
+	"mcf0/internal/par"
 	"mcf0/internal/stats"
 )
 
@@ -45,6 +53,14 @@ type Options struct {
 	// RNG supplies randomness; a fixed-seed generator is used when nil so
 	// that every run is reproducible by default.
 	RNG *stats.RNG
+	// Parallelism bounds the worker pool that runs the independent median
+	// trials. 0 selects GOMAXPROCS; 1 forces serial execution; values above
+	// the trial count are clamped. Hash functions (and per-trial RNG
+	// streams where an algorithm needs in-trial randomness) are always
+	// drawn serially up front, so for a fixed seed the estimate,
+	// PerIteration values, and oracle-query totals are identical at every
+	// parallelism level.
+	Parallelism int
 }
 
 func (o Options) epsilon() float64 {
@@ -87,6 +103,9 @@ func (o Options) rng() *stats.RNG {
 	}
 	return stats.NewRNG(0x6d63663073656564) // "mcf0seed"
 }
+
+// parallelism returns the effective worker bound (≥ 1).
+func (o Options) parallelism() int { return par.Workers(o.Parallelism) }
 
 // Result reports an estimate together with the work that produced it.
 type Result struct {

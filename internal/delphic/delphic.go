@@ -189,7 +189,7 @@ type Estimator struct {
 	n      int
 	cap    int
 	p      float64
-	sample map[string]bitvec.BitVec
+	sample map[bitvec.Fingerprint]bitvec.BitVec
 	rng    *stats.RNG
 	failed bool
 }
@@ -213,7 +213,7 @@ func NewEstimator(n int, epsilon, delta float64, streamLen int, rng *stats.RNG) 
 		n:      n,
 		cap:    capacity,
 		p:      1,
-		sample: map[string]bitvec.BitVec{},
+		sample: map[bitvec.Fingerprint]bitvec.BitVec{},
 		rng:    rng,
 	}
 }
@@ -265,7 +265,7 @@ func (e *Estimator) addPSample(s Set) bool {
 	// geometric. Positions index the set's internal bijection; collisions
 	// (same index drawn twice) cannot occur because the walk is strictly
 	// increasing.
-	inserted := []string{}
+	inserted := []bitvec.Fingerprint{}
 	pos := -1.0
 	for {
 		pos += 1 + e.geometricSkip()
@@ -273,7 +273,7 @@ func (e *Estimator) addPSample(s Set) bool {
 			return true
 		}
 		x := s.Element(uint64(pos))
-		key := x.Key()
+		key := x.Fingerprint()
 		if _, dup := e.sample[key]; !dup {
 			e.sample[key] = x
 			inserted = append(inserted, key)

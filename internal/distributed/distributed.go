@@ -12,9 +12,11 @@
 //   - Estimation: Õ(k·(n + 1/ε²)·log(1/δ)) bits — sites send one
 //     trailing-zero count per hash function.
 //
-// The sites and coordinator are simulated in-process; the simulation is
-// sequential and deterministic, which changes nothing about the
-// communication cost the experiments measure.
+// The sites and coordinator are simulated in-process and deterministically;
+// the independent median trials run across Options.Parallelism workers
+// (hashes drawn serially up front, per-trial message tallies summed in
+// trial order), which changes nothing about the communication cost the
+// experiments measure.
 package distributed
 
 import (
@@ -25,6 +27,7 @@ import (
 	"mcf0/internal/formula"
 	"mcf0/internal/hash"
 	"mcf0/internal/oracle"
+	"mcf0/internal/par"
 	"mcf0/internal/stats"
 )
 
@@ -35,6 +38,11 @@ type Options struct {
 	Thresh     int
 	Iterations int
 	RNG        *stats.RNG
+	// Parallelism bounds the worker pool simulating the independent median
+	// trials. 0 selects GOMAXPROCS; 1 forces serial. Hash functions are
+	// drawn serially up front and communication is tallied in trial order,
+	// so estimates and metered bits are identical at every level.
+	Parallelism int
 }
 
 func (o Options) epsilon() float64 {
@@ -75,6 +83,12 @@ func (o Options) rng() *stats.RNG {
 	}
 	return stats.NewRNG(0xd15721b07ed)
 }
+
+func (o Options) parallelism() int { return par.Workers(o.Parallelism) }
+
+// runTrials executes fn(i) for i in [0, t) on up to workers goroutines;
+// fn must write only to its own trial slot.
+func runTrials(t, workers int, fn func(i int)) { par.Run(t, workers, fn) }
 
 // Comm tallies the exact number of bits exchanged.
 type Comm struct {
@@ -157,31 +171,48 @@ func Bucketing(parts []*formula.DNF, opts Options) Result {
 	g := gFam.Draw(rng.Uint64).(*hash.Linear)
 	res.Comm.CoordToSites += int64(k) * xorBits(n, gBits)
 
-	srcs := make([]*oracle.DNFSource, k)
-	for j := range parts {
-		srcs[j] = oracle.NewDNFSource(parts[j])
+	hs := make([]*hash.Linear, t)
+	for i := range hs {
+		hs[i] = hFam.Draw(rng.Uint64).(*hash.Linear)
+	}
+	res.Comm.CoordToSites += int64(t) * int64(k) * toeplitzBits(n, n)
+
+	// Every (trial, site) pair gets an independent source handle so trials
+	// can run concurrently.
+	srcs := make([][]oracle.Source, t)
+	for i := range srcs {
+		srcs[i] = make([]oracle.Source, k)
+		for j := range parts {
+			srcs[i][j] = oracle.NewDNFSource(parts[j])
+		}
 	}
 
-	for i := 0; i < t; i++ {
-		h := hFam.Draw(rng.Uint64).(*hash.Linear)
-		res.Comm.CoordToSites += int64(k) * toeplitzBits(n, n)
+	ests := make([]float64, t)
+	sitesToCoord := make([]int64, t)
+	runTrials(t, opts.parallelism(), func(i int) {
+		h := hs[i]
+		hScratch := bitvec.New(n)
+		gScratch := bitvec.New(gBits)
+		var bitsSent int64
 
 		// tuples: fingerprint key → trailing-zero level of H(x). Each site
 		// also reports its local level; the coordinator's tuple set is
 		// complete only for levels ≥ the maximum local level (below it,
 		// some site had ≥ Thresh elements it did not send).
-		tuples := map[string]int{}
+		tuples := map[bitvec.Fingerprint]int{}
 		maxLocal := 0
 		for j := 0; j < k; j++ {
-			site, local := siteBucketCell(srcs[j], h, thresh)
-			res.Comm.SitesToCoord += levelBits(n)
+			site, local := siteBucketCell(srcs[i][j], h, thresh)
+			bitsSent += levelBits(n)
 			if local > maxLocal {
 				maxLocal = local
 			}
 			for _, x := range site {
-				tz := h.Eval(x).TrailingZeros()
-				fp := g.Eval(x).Key()
-				res.Comm.SitesToCoord += int64(gBits) + levelBits(n)
+				h.EvalInto(x, hScratch)
+				tz := hScratch.TrailingZeros()
+				g.EvalInto(x, gScratch)
+				fp := gScratch.Fingerprint()
+				bitsSent += int64(gBits) + levelBits(n)
 				if old, ok := tuples[fp]; !ok || tz > old {
 					tuples[fp] = tz
 				}
@@ -199,12 +230,16 @@ func Bucketing(parts []*formula.DNF, opts Options) Result {
 				}
 			}
 			if count < thresh || m == n {
-				res.PerIteration = append(res.PerIteration,
-					float64(count)*math.Pow(2, float64(m)))
+				ests[i] = float64(count) * math.Pow(2, float64(m))
 				break
 			}
 			m++
 		}
+		sitesToCoord[i] = bitsSent
+	})
+	res.PerIteration = ests
+	for _, b := range sitesToCoord {
+		res.Comm.SitesToCoord += b
 	}
 	res.Estimate = stats.Median(res.PerIteration)
 	return res
@@ -240,25 +275,37 @@ func Minimum(parts []*formula.DNF, opts Options) Result {
 	fam := hash.NewToeplitz(n, 3*n)
 
 	var res Result
-	for i := 0; i < t; i++ {
-		h := fam.Draw(rng.Uint64).(*hash.Linear)
-		res.Comm.CoordToSites += int64(k) * toeplitzBits(n, 3*n)
+	hs := make([]*hash.Linear, t)
+	for i := range hs {
+		hs[i] = fam.Draw(rng.Uint64).(*hash.Linear)
+	}
+	res.Comm.CoordToSites += int64(t) * int64(k) * toeplitzBits(n, 3*n)
+
+	ests := make([]float64, t)
+	sitesToCoord := make([]int64, t)
+	runTrials(t, opts.parallelism(), func(i int) {
 		var global []bitvec.BitVec
+		var bitsSent int64
 		for j := 0; j < k; j++ {
-			mins := counting.FindMinDNF(parts[j], h, thresh)
-			res.Comm.SitesToCoord += int64(len(mins)) * int64(3*n)
+			mins := counting.FindMinDNF(parts[j], hs[i], thresh)
+			bitsSent += int64(len(mins)) * int64(3*n)
 			global = mergeMins(global, mins, thresh)
 		}
 		if len(global) < thresh {
-			res.PerIteration = append(res.PerIteration, float64(len(global)))
+			ests[i] = float64(len(global))
 		} else {
 			f := global[len(global)-1].Fraction()
 			if f == 0 {
-				res.PerIteration = append(res.PerIteration, float64(len(global)))
+				ests[i] = float64(len(global))
 			} else {
-				res.PerIteration = append(res.PerIteration, float64(thresh)/f)
+				ests[i] = float64(thresh) / f
 			}
 		}
+		sitesToCoord[i] = bitsSent
+	})
+	res.PerIteration = ests
+	for _, b := range sitesToCoord {
+		res.Comm.SitesToCoord += b
 	}
 	res.Estimate = stats.Median(res.PerIteration)
 	return res
@@ -309,22 +356,48 @@ func Estimation(parts []*formula.DNF, r int, opts Options) Result {
 	}
 	fam := hash.NewPoly(n, s)
 
-	testers := make([]*oracle.Exhaustive, k)
+	// One tester per (trial, site): forks share each site's materialised
+	// solution list, so concurrent trials scan it read-only. If a tester
+	// ever stops being forkable, collapse to serial — sharing it across
+	// workers would race on its query meter.
+	workers := opts.parallelism()
+	base := make([]*oracle.Exhaustive, k)
 	for j := range parts {
-		testers[j] = oracle.NewExhaustive(n, parts[j].Eval)
+		base[j] = oracle.NewExhaustive(n, parts[j].Eval)
+	}
+	testers := make([][]oracle.TrailingZeroTester, t)
+	for i := range testers {
+		testers[i] = make([]oracle.TrailingZeroTester, k)
+		for j := range base {
+			fork, ok := oracle.ForkTrailingZeroTester(base[j])
+			if !ok {
+				fork = base[j]
+				workers = 1
+			}
+			testers[i][j] = fork
+		}
+	}
+
+	// Hashes drawn serially in trial-major order, exactly as the serial
+	// nested loop would.
+	hs := make([]hash.Func, t*thresh)
+	for i := range hs {
+		hs[i] = fam.Draw(rng.Uint64)
 	}
 
 	var res Result
-	for i := 0; i < t; i++ {
+	// Per-(hash, site) message costs are data-independent: s coefficients
+	// of n bits down, one level value back.
+	res.Comm.CoordToSites += int64(t) * int64(thresh) * int64(k) * int64(s*n)
+	res.Comm.SitesToCoord += int64(t) * int64(thresh) * int64(k) * levelBits(n)
+
+	ests := make([]float64, t)
+	runTrials(t, workers, func(i int) {
 		hits := 0
 		for jj := 0; jj < thresh; jj++ {
-			h := fam.Draw(rng.Uint64)
-			res.Comm.CoordToSites += int64(k) * int64(s*n) // s coefficients of n bits
 			best := -1
 			for j := 0; j < k; j++ {
-				local := counting.FindMaxRange(testers[j], h, n)
-				res.Comm.SitesToCoord += levelBits(n)
-				if local > best {
+				if local := counting.FindMaxRange(testers[i][j], hs[i*thresh+jj], n); local > best {
 					best = local
 				}
 			}
@@ -332,8 +405,9 @@ func Estimation(parts []*formula.DNF, r int, opts Options) Result {
 				hits++
 			}
 		}
-		res.PerIteration = append(res.PerIteration, stats.CouponEstimate(hits, thresh, r))
-	}
+		ests[i] = stats.CouponEstimate(hits, thresh, r)
+	})
+	res.PerIteration = ests
 	res.Estimate = stats.Median(res.PerIteration)
 	return res
 }

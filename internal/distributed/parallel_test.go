@@ -1,0 +1,61 @@
+package distributed
+
+import (
+	"reflect"
+	"testing"
+
+	"mcf0/internal/formula"
+	"mcf0/internal/stats"
+)
+
+// Determinism regression: the distributed protocols must report identical
+// estimates, per-iteration values, and metered communication bits at every
+// parallelism level for a fixed seed.
+
+func parOpts(par int) Options {
+	return Options{Epsilon: 0.8, Delta: 0.2, Thresh: 12, Iterations: 7,
+		RNG: stats.NewRNG(0xfab), Parallelism: par}
+}
+
+func checkProtocol(t *testing.T, name string, run func(par int) Result) {
+	t.Helper()
+	serial := run(1)
+	for _, par := range []int{2, 4} {
+		got := run(par)
+		if got.Estimate != serial.Estimate {
+			t.Fatalf("%s: parallelism %d estimate %v, serial %v",
+				name, par, got.Estimate, serial.Estimate)
+		}
+		if !reflect.DeepEqual(got.PerIteration, serial.PerIteration) {
+			t.Fatalf("%s: parallelism %d per-iteration mismatch", name, par)
+		}
+		if got.Comm != serial.Comm {
+			t.Fatalf("%s: parallelism %d comm %+v, serial %+v",
+				name, par, got.Comm, serial.Comm)
+		}
+	}
+}
+
+func TestDistributedParallelDeterminism(t *testing.T) {
+	rng := stats.NewRNG(41)
+	d := formula.RandomDNF(12, 8, 4, rng)
+	parts := Split(d, 3)
+	checkProtocol(t, "Bucketing", func(par int) Result {
+		return Bucketing(parts, parOpts(par))
+	})
+	checkProtocol(t, "Minimum", func(par int) Result {
+		return Minimum(parts, parOpts(par))
+	})
+	small := formula.RandomDNF(10, 6, 3, rng)
+	smallParts := Split(small, 3)
+	r, _ := RoughR(smallParts, 5, parOpts(1))
+	if r < 0 {
+		t.Fatal("unexpectedly unsatisfiable")
+	}
+	checkProtocol(t, "Estimation", func(par int) Result {
+		o := parOpts(par)
+		o.Thresh = 6
+		o.Iterations = 5
+		return Estimation(smallParts, r, o)
+	})
+}

@@ -15,6 +15,9 @@ type ImageSearcher struct {
 	a    *Matrix
 	b    bitvec.BitVec
 	base *System
+	// scratch holds one reduced row during prefix extension so the greedy
+	// walk performs no per-row allocation.
+	scratch bitvec.BitVec
 }
 
 // NewImageSearcher builds a searcher for the image of h(x) = Ax + b over
@@ -29,7 +32,7 @@ func NewImageSearcher(a *Matrix, b bitvec.BitVec, cons *System) *ImageSearcher {
 	} else if base.Cols() != a.Cols() {
 		panic("gf2: constraint system width mismatch")
 	}
-	return &ImageSearcher{a: a, b: b, base: base}
+	return &ImageSearcher{a: a, b: b, base: base, scratch: bitvec.New(a.Cols())}
 }
 
 // OutBits returns the width of image elements.
@@ -65,16 +68,18 @@ func (s *ImageSearcher) LexMinWithPrefix(prefix []bool) (bitvec.BitVec, bool) {
 	// where t is the reduced rhs of the homogeneous attempt.
 	for i := len(prefix); i < m; i++ {
 		row := s.a.Row(i)
-		red, rr := sys.Residual(row, s.b.Get(i)) // rhs for yᵢ = 0
-		if red.IsZero() {
+		rr := sys.ResidualInto(row, s.b.Get(i), s.scratch) // rhs for yᵢ = 0
+		if s.scratch.IsZero() {
 			// yᵢ forced: consistent value flips rr to false.
 			if rr {
 				y.Set(i, true)
 			}
 			continue
 		}
-		// Row independent: both values feasible, take 0 and commit.
-		sys.Add(row, s.b.Get(i))
+		// Row independent: both values feasible, take 0 and commit the
+		// already-reduced residual (AddPrereduced copies it, so the scratch
+		// stays reusable).
+		sys.AddPrereduced(s.scratch, rr)
 	}
 	return y, true
 }

@@ -8,8 +8,12 @@ import (
 
 // System is an online Gaussian-elimination solver for linear systems over
 // GF(2). Rows (a, rhs) meaning a·x = rhs are added one at a time; the system
-// maintains a reduced row-echelon basis and a consistency flag. Adding rows
-// is O(rank · n/64). The zero value is not usable; call NewSystem.
+// maintains a row-echelon basis (each pivot row zero before its pivot
+// column) and a consistency flag. Adding rows is O(rank · n/64); the
+// elimination inner loop runs directly on the 64-bit word representation,
+// and back-substitution is deferred to Solve/NullBasis instead of being
+// maintained per Add, which halves the elimination work. The zero value is
+// not usable; call NewSystem.
 type System struct {
 	cols         int
 	pivots       []pivotRow // sorted by ascending pivot column
@@ -33,8 +37,10 @@ func NewSystem(cols int) *System {
 func (s *System) Clone() *System {
 	c := &System{cols: s.cols, inconsistent: s.inconsistent}
 	c.pivots = make([]pivotRow, len(s.pivots))
+	rows := bitvec.NewSlab(s.cols, len(s.pivots))
 	for i, p := range s.pivots {
-		c.pivots[i] = pivotRow{a: p.a.Clone(), rhs: p.rhs, col: p.col}
+		rows[i].CopyFrom(p.a)
+		c.pivots[i] = pivotRow{a: rows[i], rhs: p.rhs, col: p.col}
 	}
 	return c
 }
@@ -48,17 +54,23 @@ func (s *System) Rank() int { return len(s.pivots) }
 // Consistent reports whether the system still has at least one solution.
 func (s *System) Consistent() bool { return !s.inconsistent }
 
-// reduce eliminates a against the current basis, returning the reduced row
-// and reduced rhs. It does not mutate the system.
-func (s *System) reduce(a bitvec.BitVec, rhs bool) (bitvec.BitVec, bool) {
-	r := a.Clone()
-	for _, p := range s.pivots {
-		if r.Get(p.col) {
-			r.XorInPlace(p.a)
+// reduceWords eliminates the row held in rw (word form) against the current
+// basis in place, returning the reduced rhs.
+func (s *System) reduceWords(rw []uint64, rhs bool) bool {
+	for i := range s.pivots {
+		p := &s.pivots[i]
+		c0 := p.col / 64
+		if rw[c0]&(1<<(uint(p.col)%64)) != 0 {
+			// RREF invariant: a pivot row is zero before its pivot column,
+			// so the XOR can start at the pivot word.
+			pw := p.a.Words()[:len(rw)]
+			for k := c0; k < len(rw); k++ {
+				rw[k] ^= pw[k]
+			}
 			rhs = rhs != p.rhs
 		}
 	}
-	return r, rhs
+	return rhs
 }
 
 // Residual returns the reduced form of (a, rhs) against the current basis
@@ -68,7 +80,20 @@ func (s *System) Residual(a bitvec.BitVec, rhs bool) (bitvec.BitVec, bool) {
 	if a.Len() != s.cols {
 		panic("gf2: row width mismatch")
 	}
-	return s.reduce(a, rhs)
+	r := a.Clone()
+	rr := s.reduceWords(r.Words(), rhs)
+	return r, rr
+}
+
+// ResidualInto reduces (a, rhs) against the basis into dst (caller-owned,
+// width cols, fully overwritten) and returns the reduced rhs — the
+// allocation-free form of Residual. dst must not alias a basis row.
+func (s *System) ResidualInto(a bitvec.BitVec, rhs bool, dst bitvec.BitVec) bool {
+	if a.Len() != s.cols {
+		panic("gf2: row width mismatch")
+	}
+	dst.CopyFrom(a)
+	return s.reduceWords(dst.Words(), rhs)
 }
 
 // Add inserts the equation a·x = rhs, updating the basis. If the equation
@@ -80,22 +105,35 @@ func (s *System) Add(a bitvec.BitVec, rhs bool) {
 	if s.inconsistent {
 		return
 	}
-	r, rr := s.reduce(a, rhs)
-	col := firstSetBit(r)
+	r := a.Clone()
+	rr := s.reduceWords(r.Words(), rhs)
+	s.insertReduced(r, rr)
+}
+
+// AddPrereduced inserts an equation already reduced against the current
+// basis — typically the output of ResidualInto, saving the second
+// elimination pass Add would perform. The row is copied; the caller keeps
+// ownership of r and may reuse it.
+func (s *System) AddPrereduced(r bitvec.BitVec, rhs bool) {
+	if r.Len() != s.cols {
+		panic("gf2: row width mismatch")
+	}
+	if s.inconsistent {
+		return
+	}
+	s.insertReduced(r.Clone(), rhs)
+}
+
+// insertReduced installs a row that is already reduced against the basis,
+// taking ownership of r. The basis stays in echelon (not fully reduced)
+// form; Solve and NullBasis back-substitute on demand.
+func (s *System) insertReduced(r bitvec.BitVec, rr bool) {
+	col := r.FirstSet()
 	if col < 0 {
 		if rr {
 			s.inconsistent = true
 		}
 		return
-	}
-	// Back-eliminate the new pivot column from existing rows to keep the
-	// basis fully reduced (RREF), which makes Solve and NullBasis direct
-	// reads.
-	for i := range s.pivots {
-		if s.pivots[i].a.Get(col) {
-			s.pivots[i].a.XorInPlace(r)
-			s.pivots[i].rhs = s.pivots[i].rhs != rr
-		}
 	}
 	// Insert keeping pivots sorted by column.
 	idx := len(s.pivots)
@@ -117,8 +155,13 @@ func (s *System) Solve() (bitvec.BitVec, bool) {
 		return bitvec.BitVec{}, false
 	}
 	x := bitvec.New(s.cols)
-	for _, p := range s.pivots {
-		if p.rhs {
+	// Back-substitute from the last pivot upward: pivot rows are zero
+	// before their pivot column, and x's bit at p.col is still clear when
+	// row p is processed, so a·x sums exactly the later pivots'
+	// contributions.
+	for i := len(s.pivots) - 1; i >= 0; i-- {
+		p := &s.pivots[i]
+		if p.a.Dot(x) != p.rhs {
 			x.Set(p.col, true)
 		}
 	}
@@ -131,7 +174,7 @@ type Equation struct {
 	RHS bool
 }
 
-// Equations returns the reduced basis rows. Their solution set equals that
+// Equations returns the echelon basis rows. Their solution set equals that
 // of all rows ever added (when consistent); used to translate a system into
 // XOR constraints for a SAT solver. Callers must not mutate the vectors.
 func (s *System) Equations() []Equation {
@@ -149,20 +192,21 @@ func (s *System) FreeDim() int { return s.cols - len(s.pivots) }
 // NullBasis returns a basis of the homogeneous solution space {x : Ax = 0}.
 func (s *System) NullBasis() []bitvec.BitVec {
 	isPivot := make([]bool, s.cols)
-	pivotAt := make(map[int]pivotRow, len(s.pivots))
 	for _, p := range s.pivots {
 		isPivot[p.col] = true
-		pivotAt[p.col] = p
 	}
 	var basis []bitvec.BitVec
 	for f := 0; f < s.cols; f++ {
 		if isPivot[f] {
 			continue
 		}
+		// Free variable f set to one, all other free variables zero;
+		// back-substitute the pivot variables from the last row upward.
 		v := bitvec.New(s.cols)
 		v.Set(f, true)
-		for _, p := range s.pivots {
-			if p.a.Get(f) {
+		for i := len(s.pivots) - 1; i >= 0; i-- {
+			p := &s.pivots[i]
+			if p.a.Dot(v) {
 				v.Set(p.col, true)
 			}
 		}
@@ -200,7 +244,7 @@ func (s *System) EnumerateSolutions(limit int, visit func(bitvec.BitVec) bool) {
 		}
 		// Gray code: flip the basis vector at the index of the lowest set
 		// bit of i.
-		j := trailingZeros64(i)
+		j := bits.TrailingZeros64(i)
 		cur.XorInPlace(basis[j])
 		if !visit(cur.Clone()) {
 			return
@@ -225,14 +269,3 @@ func (s *System) SolutionCountCapped(cap int) int {
 	}
 	return int(n)
 }
-
-func firstSetBit(v bitvec.BitVec) int {
-	for i := 0; i < v.Len(); i++ {
-		if v.Get(i) {
-			return i
-		}
-	}
-	return -1
-}
-
-func trailingZeros64(x uint64) int { return bits.TrailingZeros64(x) }

@@ -22,6 +22,39 @@ type Func interface {
 	OutBits() int
 }
 
+// InPlace is implemented by hash functions that can evaluate into a
+// caller-owned output vector without allocating. The contract follows
+// package bitvec's destination-passing rules: dst must have width
+// OutBits(), is fully overwritten, must not alias x, and is never retained
+// by the hash — enumeration loops allocate it once and reuse it per
+// evaluation. Every family in this package returns functions implementing
+// InPlace.
+type InPlace interface {
+	EvalInto(x, dst bitvec.BitVec)
+}
+
+// Uint64Hash is implemented by hash functions over universes of at most 64
+// bits that evaluate integer-form inputs directly: EvalUint64(x) returns
+// the integer whose OutBits()-bit binary representation (MSB first) equals
+// Eval(bitvec.FromUint64(x, InBits())). In particular the string
+// trailing-zero count of the output vector is the binary trailing-zero
+// count of the returned integer (OutBits() for zero), which lets the
+// Estimation sketches run without touching bit vectors at all.
+type Uint64Hash interface {
+	EvalUint64(x uint64) uint64
+}
+
+// EvalTrailingZeros evaluates h at x and returns the trailing-zero count of
+// the output string, using scratch (caller-owned, width h.OutBits()) to
+// avoid allocation when h implements InPlace.
+func EvalTrailingZeros(h Func, x bitvec.BitVec, scratch bitvec.BitVec) int {
+	if ip, ok := h.(InPlace); ok {
+		ip.EvalInto(x, scratch)
+		return scratch.TrailingZeros()
+	}
+	return h.Eval(x).TrailingZeros()
+}
+
 // Family is a distribution over hash functions; Draw samples one using next
 // as the entropy source.
 type Family interface {
@@ -51,7 +84,16 @@ func NewLinear(a *gf2.Matrix, b bitvec.BitVec) *Linear {
 
 // Eval returns Ax + b.
 func (l *Linear) Eval(x bitvec.BitVec) bitvec.BitVec {
-	return l.A.MulVec(x).Xor(l.B)
+	y := bitvec.New(l.A.Rows())
+	l.EvalInto(x, y)
+	return y
+}
+
+// EvalInto computes Ax + b into dst (caller-owned, width OutBits()),
+// allocation-free.
+func (l *Linear) EvalInto(x, dst bitvec.BitVec) {
+	l.A.MulVecInto(x, dst)
+	dst.XorInPlace(l.B)
 }
 
 // InBits returns n.
@@ -127,19 +169,20 @@ type Toeplitz struct{ n, m int }
 // NewToeplitz returns the Toeplitz family mapping n bits to m bits.
 func NewToeplitz(n, m int) Toeplitz { return Toeplitz{n: n, m: m} }
 
-// Draw samples a function.
+// Draw samples a function. Row i is the length-n window of the random
+// diagonal string starting at offset m-1-i, so A[i][j] = diag[m-1-i+j] —
+// constant along diagonals, and a bijection between diagonal strings and
+// Toeplitz matrices, so the family distribution is identical to the
+// per-entry construction (which indexed the diagonal as diag[i-j+n-1]).
+// Note the diagonal string maps to a *different* matrix than before, so a
+// fixed seed realizes different hash functions than pre-rewrite versions;
+// only the distribution, not the per-seed draw, is preserved. Each row is
+// materialized with one word-parallel window copy.
 func (t Toeplitz) Draw(next func() uint64) Func {
 	diag := bitvec.Random(t.n+t.m-1, next)
-	a := gf2.NewMatrix(t.n)
+	a, rows := gf2.NewSlabMatrix(t.m, t.n)
 	for i := 0; i < t.m; i++ {
-		row := bitvec.New(t.n)
-		for j := 0; j < t.n; j++ {
-			// A[i][j] = diag[i-j+(n-1)], constant along diagonals.
-			if diag.Get(i - j + t.n - 1) {
-				row.Set(j, true)
-			}
-		}
-		a.AddRow(row)
+		diag.WindowInto(t.m-1-i, rows[i])
 	}
 	return NewLinear(a, bitvec.Random(t.m, next))
 }
@@ -206,11 +249,11 @@ func NewSparse(n, m int, density float64) Sparse {
 // Draw samples a function. Rows that come out empty are redrawn once with
 // a single random entry so no output bit is constant.
 func (s Sparse) Draw(next func() uint64) Func {
-	a := gf2.NewMatrix(s.n)
+	a, rows := gf2.NewSlabMatrix(s.m, s.n)
 	// Threshold for "bit set" on a uniform 64-bit draw.
 	limit := uint64(s.density * float64(^uint64(0)))
 	for i := 0; i < s.m; i++ {
-		row := bitvec.New(s.n)
+		row := rows[i]
 		for j := 0; j < s.n; j++ {
 			if next() <= limit {
 				row.Set(j, true)
@@ -219,7 +262,6 @@ func (s Sparse) Draw(next func() uint64) Func {
 		if row.IsZero() {
 			row.Set(int(next()%uint64(s.n)), true)
 		}
-		a.AddRow(row)
 	}
 	return NewLinear(a, bitvec.Random(s.m, next))
 }
@@ -291,11 +333,23 @@ type polyFunc struct {
 }
 
 func (f *polyFunc) Eval(x bitvec.BitVec) bitvec.BitVec {
+	y := bitvec.New(f.n)
+	f.EvalInto(x, y)
+	return y
+}
+
+// EvalInto evaluates the polynomial into dst without allocating.
+func (f *polyFunc) EvalInto(x, dst bitvec.BitVec) {
 	if x.Len() != f.n {
 		panic("hash: input width mismatch")
 	}
-	y := f.field.EvalPoly(f.coeffs, x.Uint64())
-	return bitvec.FromUint64(y, f.n)
+	dst.SetUint64(f.EvalUint64(x.Uint64()))
+}
+
+// EvalUint64 evaluates the polynomial on an integer-form input; see
+// Uint64Hash for the output convention.
+func (f *polyFunc) EvalUint64(x uint64) uint64 {
+	return f.field.EvalPoly(f.coeffs, x)
 }
 
 func (f *polyFunc) InBits() int  { return f.n }

@@ -15,6 +15,8 @@
 package oracle
 
 import (
+	"math/bits"
+
 	"mcf0/internal/bitvec"
 	"mcf0/internal/formula"
 	"mcf0/internal/gf2"
@@ -44,6 +46,26 @@ type TrailingZeroTester interface {
 	Queries() int64
 }
 
+// Forkable is implemented by sources that can hand out independent handles
+// over the same formula for concurrent trials. A fork shares the immutable
+// formula (and any memoized solution list) but meters its own queries
+// starting from zero; the parallel counters sum fork meters back into the
+// result, so the reported totals match a serial run exactly.
+type Forkable interface {
+	Fork() Source
+}
+
+// ForkTrailingZeroTester returns an independent tester over the same
+// formula when tz supports forking, for concurrent median trials.
+func ForkTrailingZeroTester(tz TrailingZeroTester) (TrailingZeroTester, bool) {
+	f, ok := tz.(Forkable)
+	if !ok {
+		return nil, false
+	}
+	t, ok := f.Fork().(TrailingZeroTester)
+	return t, ok
+}
+
 // CNFSource is the SAT-backed oracle for CNF formulas.
 type CNFSource struct {
 	cnf     *formula.CNF
@@ -52,6 +74,10 @@ type CNFSource struct {
 
 // NewCNFSource wraps a CNF formula.
 func NewCNFSource(c *formula.CNF) *CNFSource { return &CNFSource{cnf: c} }
+
+// Fork returns an independent source over the same formula with its own
+// query meter.
+func (s *CNFSource) Fork() Source { return NewCNFSource(s.cnf) }
 
 // NVars returns the variable count.
 func (s *CNFSource) NVars() int { return s.cnf.N }
@@ -116,6 +142,10 @@ type DNFSource struct {
 // NewDNFSource wraps a DNF formula.
 func NewDNFSource(d *formula.DNF) *DNFSource { return &DNFSource{dnf: d} }
 
+// Fork returns an independent source over the same formula with its own
+// query meter.
+func (s *DNFSource) Fork() Source { return NewDNFSource(s.dnf) }
+
 // NVars returns the variable count.
 func (s *DNFSource) NVars() int { return s.dnf.N }
 
@@ -130,7 +160,7 @@ func (s *DNFSource) Enumerate(cons *gf2.System, limit int, visit func(bitvec.Bit
 	if limit == 0 {
 		return 0
 	}
-	seen := map[string]bool{}
+	seen := map[bitvec.Fingerprint]bool{}
 	count := 0
 	stop := false
 	for _, t := range s.dnf.Terms {
@@ -143,10 +173,11 @@ func (s *DNFSource) Enumerate(cons *gf2.System, limit int, visit func(bitvec.Bit
 			continue
 		}
 		sys.EnumerateSolutions(-1, func(x bitvec.BitVec) bool {
-			if seen[x.Key()] {
+			fp := x.Fingerprint()
+			if seen[fp] {
 				return true
 			}
-			seen[x.Key()] = true
+			seen[fp] = true
 			count++
 			if !visit(x) {
 				stop = true
@@ -190,15 +221,25 @@ type Exhaustive struct {
 	eval    func(bitvec.BitVec) bool
 	queries int64
 	sols    []bitvec.BitVec // lazily materialised solution list
+	solsVal []uint64        // integer forms of sols, for Uint64Hash fast paths
 	solsSet bool
 }
 
-// NewExhaustive wraps a predicate over n-bit assignments.
+// NewExhaustive wraps a predicate over n-bit assignments. The predicate
+// must be a pure function of its argument (it is shared across forks).
 func NewExhaustive(n int, eval func(bitvec.BitVec) bool) *Exhaustive {
 	if n > 30 {
 		panic("oracle: exhaustive backend beyond 2^30")
 	}
 	return &Exhaustive{n: n, eval: eval}
+}
+
+// Fork returns an independent handle with its own query meter. The
+// (immutable once built) solution list is materialised first so that all
+// forks share it instead of re-enumerating the universe.
+func (e *Exhaustive) Fork() Source {
+	e.solutions()
+	return &Exhaustive{n: e.n, eval: e.eval, sols: e.sols, solsVal: e.solsVal, solsSet: true}
 }
 
 // NVars returns the variable count.
@@ -207,18 +248,20 @@ func (e *Exhaustive) NVars() int { return e.n }
 // Queries returns the number of full sweeps performed.
 func (e *Exhaustive) Queries() int64 { return e.queries }
 
-// Enumerate visits solutions in increasing numeric order.
+// Enumerate visits solutions in increasing numeric order. The sweep reuses
+// one scratch vector; solutions are cloned only when visited.
 func (e *Exhaustive) Enumerate(cons *gf2.System, limit int, visit func(bitvec.BitVec) bool) int {
 	e.queries++
 	if cons != nil && !cons.Consistent() {
 		return 0
 	}
 	count := 0
+	x := bitvec.New(e.n)
 	for v := uint64(0); v < 1<<uint(e.n); v++ {
 		if limit >= 0 && count >= limit {
 			break
 		}
-		x := bitvec.FromUint64(v, e.n)
+		x.SetUint64(v)
 		if !e.eval(x) {
 			continue
 		}
@@ -226,7 +269,7 @@ func (e *Exhaustive) Enumerate(cons *gf2.System, limit int, visit func(bitvec.Bi
 			continue
 		}
 		count++
-		if !visit(x) {
+		if !visit(x.Clone()) {
 			break
 		}
 	}
@@ -241,6 +284,7 @@ func (e *Exhaustive) solutions() []bitvec.BitVec {
 			x := bitvec.FromUint64(v, e.n)
 			if e.eval(x) {
 				e.sols = append(e.sols, x)
+				e.solsVal = append(e.solsVal, v)
 			}
 		}
 		e.solsSet = true
@@ -252,8 +296,18 @@ func (e *Exhaustive) solutions() []bitvec.BitVec {
 // zeros.
 func (e *Exhaustive) ExistsTrailingZeros(h hash.Func, t int) bool {
 	e.queries++
-	for _, x := range e.solutions() {
-		if h.Eval(x).TrailingZeros() >= t {
+	e.solutions()
+	if u, ok := h.(hash.Uint64Hash); ok {
+		for _, v := range e.solsVal {
+			if trailingZerosValue(u.EvalUint64(v), h.OutBits()) >= t {
+				return true
+			}
+		}
+		return false
+	}
+	scratch := bitvec.New(h.OutBits())
+	for _, x := range e.sols {
+		if hash.EvalTrailingZeros(h, x, scratch) >= t {
 			return true
 		}
 	}
@@ -266,13 +320,32 @@ func (e *Exhaustive) ExistsTrailingZeros(h hash.Func, t int) bool {
 // when φ is unsatisfiable.
 func (e *Exhaustive) MaxTrailingZeros(h hash.Func) int {
 	e.queries++
+	e.solutions()
 	best := -1
-	for _, x := range e.solutions() {
-		if tz := h.Eval(x).TrailingZeros(); tz > best {
+	if u, ok := h.(hash.Uint64Hash); ok {
+		for _, v := range e.solsVal {
+			if tz := trailingZerosValue(u.EvalUint64(v), h.OutBits()); tz > best {
+				best = tz
+			}
+		}
+		return best
+	}
+	scratch := bitvec.New(h.OutBits())
+	for _, x := range e.sols {
+		if tz := hash.EvalTrailingZeros(h, x, scratch); tz > best {
 			best = tz
 		}
 	}
 	return best
+}
+
+// trailingZerosValue is the string trailing-zero count of the n-bit output
+// integer y (see hash.Uint64Hash): n for zero, else the binary count.
+func trailingZerosValue(y uint64, n int) int {
+	if y == 0 {
+		return n
+	}
+	return bits.TrailingZeros64(y)
 }
 
 func satisfies(cons *gf2.System, x bitvec.BitVec) bool {

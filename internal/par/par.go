@@ -1,0 +1,52 @@
+// Package par provides the tiny worker-pool primitive shared by every
+// trial-parallel loop in the repository (counting and distributed median
+// trials, set-stream sketch copies). Keeping it in one place means pool
+// semantics — work-stealing order, panic propagation, future cancellation —
+// are fixed once.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism option to an effective worker bound:
+// positive values pass through, anything else selects GOMAXPROCS.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn(i) for i in [0, count) on up to workers goroutines.
+// fn must write results only to its own index's slot; when workers > 1 it
+// is invoked concurrently and must not touch shared mutable state.
+func Run(count, workers int, fn func(i int)) {
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,44 @@
+package setstream
+
+import (
+	"testing"
+
+	"mcf0/internal/formula"
+	"mcf0/internal/stats"
+)
+
+// Determinism regression: per-copy fan-out must not change estimates or
+// oracle-query counts for a fixed seed.
+func TestSetStreamParallelDeterminism(t *testing.T) {
+	rng := stats.NewRNG(51)
+	items := make([]*formula.DNF, 6)
+	for i := range items {
+		items[i] = formula.RandomDNF(12, 3, 4, rng)
+	}
+	cnf, _ := formula.PlantedKCNF(8, 12, 3, rng)
+
+	run := func(par int) (float64, float64, int64) {
+		o := Options{Epsilon: 0.8, Delta: 0.2, Thresh: 12, Iterations: 7,
+			RNG: stats.NewRNG(0xabc), Parallelism: par}
+		ds := NewDNFStream(12, o)
+		for _, f := range items {
+			ds.ProcessDNF(f)
+		}
+		o2 := o
+		o2.RNG = stats.NewRNG(0xabc)
+		o2.Thresh = 6
+		o2.Iterations = 3
+		cs := NewCNFStream(8, o2)
+		cs.ProcessCNF(cnf)
+		return ds.Estimate(), cs.Estimate(), cs.Queries
+	}
+
+	d1, c1, q1 := run(1)
+	for _, par := range []int{2, 4} {
+		d, c, q := run(par)
+		if d != d1 || c != c1 || q != q1 {
+			t.Fatalf("parallelism %d: (%v, %v, %d) != serial (%v, %v, %d)",
+				par, d, c, q, d1, c1, q1)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"mcf0/internal/gf2"
 	"mcf0/internal/hash"
 	"mcf0/internal/oracle"
+	"mcf0/internal/par"
 	"mcf0/internal/stats"
 )
 
@@ -35,6 +36,11 @@ type Options struct {
 	Thresh     int
 	Iterations int
 	RNG        *stats.RNG
+	// Parallelism bounds the worker pool that runs the t independent
+	// sketch copies' per-item FindMin computations. 0 selects GOMAXPROCS;
+	// 1 forces serial. Copies are independent (own hash, own minima), so
+	// estimates for a fixed seed are identical at every level.
+	Parallelism int
 }
 
 func (o Options) epsilon() float64 {
@@ -76,11 +82,20 @@ func (o Options) rng() *stats.RNG {
 	return stats.NewRNG(0x5e75747265616d)
 }
 
+func (o Options) parallelism() int { return par.Workers(o.Parallelism) }
+
+// runCopies executes fn(i) for each sketch copy on up to workers
+// goroutines; fn must touch only copy i's state.
+func runCopies(count, workers int, fn func(i int)) { par.Run(count, workers, fn) }
+
 // minSketch is the shared Minimum-style sketch: per copy, a Toeplitz hash
-// n → 3n and the Thresh smallest distinct hash values seen so far.
+// n → 3n and the Thresh smallest distinct hash values seen so far. The
+// copies are updated independently, so per-item work fans out across
+// Options.Parallelism workers.
 type minSketch struct {
-	thresh int
-	copies []*sketchCopy
+	thresh  int
+	workers int
+	copies  []*sketchCopy
 }
 
 type sketchCopy struct {
@@ -91,7 +106,7 @@ type sketchCopy struct {
 func newMinSketch(n int, opts Options) *minSketch {
 	rng := opts.rng()
 	fam := hash.NewToeplitz(n, 3*n)
-	s := &minSketch{thresh: opts.thresh()}
+	s := &minSketch{thresh: opts.thresh(), workers: opts.parallelism()}
 	for i := 0; i < opts.iterations(); i++ {
 		s.copies = append(s.copies, &sketchCopy{h: fam.Draw(rng.Uint64).(*hash.Linear)})
 	}
@@ -175,15 +190,17 @@ func NewDNFStream(n int, opts Options) *DNFStream {
 	return &DNFStream{n: n, s: newMinSketch(n, opts)}
 }
 
-// ProcessDNF absorbs one DNF set.
+// ProcessDNF absorbs one DNF set; the per-copy FindMin computations run
+// across the sketch's worker pool (FindMinDNF only reads f and the hash).
 func (d *DNFStream) ProcessDNF(f *formula.DNF) {
 	if f.N != d.n {
 		panic("setstream: DNF variable count mismatch")
 	}
-	for _, c := range d.s.copies {
+	runCopies(len(d.s.copies), d.s.workers, func(i int) {
+		c := d.s.copies[i]
 		batch := counting.FindMinDNF(f, c.h, d.s.thresh)
 		d.s.absorb(c, batch)
-	}
+	})
 }
 
 // ProcessElement absorbs a single universe element (the classic streaming
@@ -304,15 +321,17 @@ func AffineFindMin(a *gf2.Matrix, b bitvec.BitVec, h *hash.Linear, t int) []bitv
 	return searcher.KMin(t)
 }
 
-// ProcessAffine absorbs one affine set {x : Ax = b}.
+// ProcessAffine absorbs one affine set {x : Ax = b}; the per-copy prefix
+// searches run across the sketch's worker pool.
 func (s *AffineStream) ProcessAffine(a *gf2.Matrix, b bitvec.BitVec) {
 	if a.Cols() != s.n {
 		panic("setstream: affine item width mismatch")
 	}
-	for _, c := range s.s.copies {
+	runCopies(len(s.s.copies), s.s.workers, func(i int) {
+		c := s.s.copies[i]
 		batch := AffineFindMin(a, b, c.h, s.s.thresh)
 		s.s.absorb(c, batch)
-	}
+	})
 }
 
 // Estimate returns the (ε, δ)-approximation of the union size.
@@ -337,17 +356,24 @@ func NewCNFStream(n int, opts Options) *CNFStream {
 	return &CNFStream{n: n, s: newMinSketch(n, opts)}
 }
 
-// ProcessCNF absorbs one CNF set.
+// ProcessCNF absorbs one CNF set; each copy solves against its own forked
+// SAT oracle and the query meters are summed in copy order.
 func (c *CNFStream) ProcessCNF(f *formula.CNF) {
 	if f.N != c.n {
 		panic("setstream: CNF variable count mismatch")
 	}
-	src := oracle.NewCNFSource(f)
-	for _, cp := range c.s.copies {
-		batch := counting.FindMinOracle(src, cp.h, c.s.thresh)
-		c.s.absorb(cp, batch)
+	srcs := make([]*oracle.CNFSource, len(c.s.copies))
+	for i := range srcs {
+		srcs[i] = oracle.NewCNFSource(f)
 	}
-	c.Queries += src.Queries()
+	runCopies(len(c.s.copies), c.s.workers, func(i int) {
+		cp := c.s.copies[i]
+		batch := counting.FindMinOracle(srcs[i], cp.h, c.s.thresh)
+		c.s.absorb(cp, batch)
+	})
+	for _, src := range srcs {
+		c.Queries += src.Queries()
+	}
 }
 
 // Estimate returns the (ε, δ)-approximation of the union size.

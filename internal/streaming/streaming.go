@@ -15,6 +15,7 @@ package streaming
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 
 	"mcf0/internal/bitvec"
@@ -88,19 +89,21 @@ type Estimator interface {
 	SketchWords() int
 }
 
-// ExactDistinct is the ground-truth baseline: a hash set of all elements.
+// ExactDistinct is the ground-truth baseline: a hash set of all elements,
+// keyed by fixed-size fingerprints (exact for widths ≤ 128 bits; see
+// bitvec.Fingerprint for the collision contract beyond that).
 type ExactDistinct struct {
-	seen map[string]struct{}
+	seen map[bitvec.Fingerprint]struct{}
 	n    int
 }
 
 // NewExactDistinct returns an exact distinct counter over n-bit elements.
 func NewExactDistinct(n int) *ExactDistinct {
-	return &ExactDistinct{seen: map[string]struct{}{}, n: n}
+	return &ExactDistinct{seen: map[bitvec.Fingerprint]struct{}{}, n: n}
 }
 
 // Process absorbs one element.
-func (e *ExactDistinct) Process(x bitvec.BitVec) { e.seen[x.Key()] = struct{}{} }
+func (e *ExactDistinct) Process(x bitvec.BitVec) { e.seen[x.Fingerprint()] = struct{}{} }
 
 // Estimate returns the exact distinct count.
 func (e *ExactDistinct) Estimate() float64 { return float64(len(e.seen)) }
@@ -121,9 +124,12 @@ type Bucketing struct {
 type bucketCopy struct {
 	h     *hash.Linear
 	level int
-	// elems maps element keys to their full hash value, so raising the
-	// level can re-filter without rehashing.
-	elems map[string]bitvec.BitVec
+	// elems maps element fingerprints to their full hash value, so raising
+	// the level can re-filter without rehashing.
+	elems map[bitvec.Fingerprint]bitvec.BitVec
+	// scratch holds one hash evaluation; an element's hash is only cloned
+	// into the map when it actually enters the cell.
+	scratch bitvec.BitVec
 }
 
 // NewBucketing builds a Bucketing sketch over n-bit elements, drawing
@@ -134,8 +140,9 @@ func NewBucketing(n int, opts Options) *Bucketing {
 	b := &Bucketing{thresh: opts.thresh()}
 	for i := 0; i < opts.iterations(); i++ {
 		b.copies = append(b.copies, &bucketCopy{
-			h:     fam.Draw(rng.Uint64).(*hash.Linear),
-			elems: map[string]bitvec.BitVec{},
+			h:       fam.Draw(rng.Uint64).(*hash.Linear),
+			elems:   map[bitvec.Fingerprint]bitvec.BitVec{},
+			scratch: bitvec.New(n),
 		})
 	}
 	return b
@@ -143,16 +150,16 @@ func NewBucketing(n int, opts Options) *Bucketing {
 
 // Process absorbs one element (lines 3–11 of Algorithm 3).
 func (b *Bucketing) Process(x bitvec.BitVec) {
+	key := x.Fingerprint()
 	for _, c := range b.copies {
-		key := x.Key()
 		if _, ok := c.elems[key]; ok {
 			continue
 		}
-		y := c.h.Eval(x)
-		if !y.HasZeroPrefix(c.level) {
+		c.h.EvalInto(x, c.scratch)
+		if !c.scratch.HasZeroPrefix(c.level) {
 			continue
 		}
-		c.elems[key] = y
+		c.elems[key] = c.scratch.Clone()
 		for len(c.elems) > b.thresh {
 			c.level++
 			for k, hy := range c.elems {
@@ -206,6 +213,10 @@ type Minimum struct {
 type minCopy struct {
 	h    *hash.Linear
 	vals []bitvec.BitVec // sorted ascending, ≤ thresh distinct values
+	// scratch holds the current evaluation; it is cloned only when the
+	// value actually enters the sketch, so elements hashing above the
+	// current maximum (the steady-state common case) cost no allocation.
+	scratch bitvec.BitVec
 }
 
 // NewMinimum builds a Minimum sketch over n-bit elements.
@@ -214,7 +225,10 @@ func NewMinimum(n int, opts Options) *Minimum {
 	fam := hash.NewToeplitz(n, 3*n)
 	m := &Minimum{thresh: opts.thresh()}
 	for i := 0; i < opts.iterations(); i++ {
-		m.copies = append(m.copies, &minCopy{h: fam.Draw(rng.Uint64).(*hash.Linear)})
+		m.copies = append(m.copies, &minCopy{
+			h:       fam.Draw(rng.Uint64).(*hash.Linear),
+			scratch: bitvec.New(3 * n),
+		})
 	}
 	return m
 }
@@ -222,7 +236,8 @@ func NewMinimum(n int, opts Options) *Minimum {
 // Process absorbs one element (lines 12–18 of Algorithm 3).
 func (m *Minimum) Process(x bitvec.BitVec) {
 	for _, c := range m.copies {
-		y := c.h.Eval(x)
+		c.h.EvalInto(x, c.scratch)
+		y := c.scratch
 		idx := sort.Search(len(c.vals), func(i int) bool { return !c.vals[i].Less(y) })
 		if idx < len(c.vals) && c.vals[idx].Equal(y) {
 			continue // already present
@@ -230,11 +245,14 @@ func (m *Minimum) Process(x bitvec.BitVec) {
 		if len(c.vals) < m.thresh {
 			c.vals = append(c.vals, bitvec.BitVec{})
 			copy(c.vals[idx+1:], c.vals[idx:])
-			c.vals[idx] = y
+			c.vals[idx] = y.Clone()
 		} else if idx < len(c.vals) {
-			// y is smaller than the current maximum: replace it.
+			// y is smaller than the current maximum: replace it. Recycle
+			// the evicted maximum's storage instead of allocating.
+			evicted := c.vals[len(c.vals)-1]
 			copy(c.vals[idx+1:], c.vals[idx:len(c.vals)-1])
-			c.vals[idx] = y
+			evicted.CopyFrom(y)
+			c.vals[idx] = evicted
 		}
 	}
 }
@@ -278,8 +296,12 @@ type Estimation struct {
 	thresh int
 	n      int
 	hs     [][]hash.Func
-	s      [][]int // S[i][j]: max trailing zeros seen
-	fm     *FlajoletMartin
+	// u64 mirrors hs via the integer fast path when every hash supports it
+	// (the polynomial family always does); nil otherwise.
+	u64     [][]hash.Uint64Hash
+	s       [][]int // S[i][j]: max trailing zeros seen
+	fm      *FlajoletMartin
+	scratch bitvec.BitVec
 }
 
 // NewEstimation builds an Estimation sketch over n-bit elements, drawing
@@ -293,26 +315,57 @@ func NewEstimation(n int, opts Options) *Estimation {
 	fam := hash.NewPoly(n, s)
 	t := opts.iterations()
 	thresh := opts.thresh()
-	e := &Estimation{thresh: thresh, n: n, fm: NewFlajoletMartin(n, opts)}
+	e := &Estimation{thresh: thresh, n: n, fm: NewFlajoletMartin(n, opts), scratch: bitvec.New(n)}
+	allU64 := true
 	for i := 0; i < t; i++ {
 		var row []hash.Func
+		var urow []hash.Uint64Hash
 		var srow []int
 		for j := 0; j < thresh; j++ {
-			row = append(row, fam.Draw(rng.Uint64))
+			h := fam.Draw(rng.Uint64)
+			row = append(row, h)
+			if u, ok := h.(hash.Uint64Hash); ok {
+				urow = append(urow, u)
+			} else {
+				allU64 = false
+			}
 			srow = append(srow, -1)
 		}
 		e.hs = append(e.hs, row)
+		e.u64 = append(e.u64, urow)
 		e.s = append(e.s, srow)
+	}
+	if !allU64 {
+		e.u64 = nil
 	}
 	return e
 }
 
 // Process absorbs one element (lines 19–21 of Algorithm 3).
 func (e *Estimation) Process(x bitvec.BitVec) {
-	for i := range e.hs {
-		for j, h := range e.hs[i] {
-			if tz := h.Eval(x).TrailingZeros(); tz > e.s[i][j] {
-				e.s[i][j] = tz
+	if e.u64 != nil {
+		// Integer fast path: convert x once, then every grid cell is one
+		// field evaluation plus a trailing-zeros instruction.
+		xv := x.Uint64()
+		for i := range e.u64 {
+			srow := e.s[i]
+			for j, u := range e.u64[i] {
+				y := u.EvalUint64(xv)
+				tz := e.n
+				if y != 0 {
+					tz = bits.TrailingZeros64(y)
+				}
+				if tz > srow[j] {
+					srow[j] = tz
+				}
+			}
+		}
+	} else {
+		for i := range e.hs {
+			for j, h := range e.hs[i] {
+				if tz := hash.EvalTrailingZeros(h, x, e.scratch); tz > e.s[i][j] {
+					e.s[i][j] = tz
+				}
 			}
 		}
 	}
@@ -358,15 +411,16 @@ func (e *Estimation) SketchWords() int { return len(e.s) * e.thresh }
 // 2^r, a factor-5 approximation of F0 with probability 3/5 (Alon–Matias–
 // Szegedy). The median over Iterations copies is reported.
 type FlajoletMartin struct {
-	hs  []*hash.Linear
-	max []int
+	hs      []*hash.Linear
+	max     []int
+	scratch bitvec.BitVec
 }
 
 // NewFlajoletMartin builds the rough estimator with hashes from H_xor(n,n).
 func NewFlajoletMartin(n int, opts Options) *FlajoletMartin {
 	rng := opts.rng()
 	fam := hash.NewXor(n, n)
-	f := &FlajoletMartin{}
+	f := &FlajoletMartin{scratch: bitvec.New(n)}
 	for i := 0; i < opts.iterations(); i++ {
 		f.hs = append(f.hs, fam.Draw(rng.Uint64).(*hash.Linear))
 		f.max = append(f.max, -1)
@@ -377,7 +431,8 @@ func NewFlajoletMartin(n int, opts Options) *FlajoletMartin {
 // Process absorbs one element.
 func (f *FlajoletMartin) Process(x bitvec.BitVec) {
 	for i, h := range f.hs {
-		if tz := h.Eval(x).TrailingZeros(); tz > f.max[i] {
+		h.EvalInto(x, f.scratch)
+		if tz := f.scratch.TrailingZeros(); tz > f.max[i] {
 			f.max[i] = tz
 		}
 	}

@@ -70,6 +70,11 @@ type Config struct {
 	// BinarySearch enables the ApproxMC2 prefix search for
 	// AlgorithmBucketing.
 	BinarySearch bool
+	// Parallelism bounds the worker pool running the independent median
+	// trials of the counting and distributed algorithms. 0 selects
+	// GOMAXPROCS, 1 forces serial execution. Results for a fixed Seed are
+	// identical at every parallelism level.
+	Parallelism int
 }
 
 func (c Config) countingOptions() counting.Options {
@@ -80,6 +85,7 @@ func (c Config) countingOptions() counting.Options {
 		Iterations:   c.Iterations,
 		BinarySearch: c.BinarySearch,
 		RNG:          c.rng(),
+		Parallelism:  c.Parallelism,
 	}
 }
 
@@ -317,11 +323,12 @@ func NewRangeF0(bitsPerDim []int, cfg Config) (*RangeF0, error) {
 
 func (c Config) setstreamOptions() setstream.Options {
 	return setstream.Options{
-		Epsilon:    c.Epsilon,
-		Delta:      c.Delta,
-		Thresh:     c.Thresh,
-		Iterations: c.Iterations,
-		RNG:        c.rng(),
+		Epsilon:     c.Epsilon,
+		Delta:       c.Delta,
+		Thresh:      c.Thresh,
+		Iterations:  c.Iterations,
+		RNG:         c.rng(),
+		Parallelism: c.Parallelism,
 	}
 }
 
@@ -484,11 +491,12 @@ func DistributedCountDNF(n int, terms [][]int, sites int, alg Algorithm, cfg Con
 	}
 	parts := distributed.Split(d, sites)
 	opts := distributed.Options{
-		Epsilon:    cfg.Epsilon,
-		Delta:      cfg.Delta,
-		Thresh:     cfg.Thresh,
-		Iterations: cfg.Iterations,
-		RNG:        cfg.rng(),
+		Epsilon:     cfg.Epsilon,
+		Delta:       cfg.Delta,
+		Thresh:      cfg.Thresh,
+		Iterations:  cfg.Iterations,
+		RNG:         cfg.rng(),
+		Parallelism: cfg.Parallelism,
 	}
 	var res distributed.Result
 	switch alg {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the hot-path benchmarks with -benchmem and regenerates BENCH_1.json,
+# pairing the results with the checked-in pre-change baseline
+# (bench/baseline_*.txt, captured at the seed before the word-parallel
+# rewrite). Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_1.json}
+HOT='BenchmarkA1HashFamily|BenchmarkE4F0Sketches|BenchmarkGF2$|BenchmarkE1ApproxMC|BenchmarkE2FindMin'
+
+mkdir -p bench
+go test . -run '^$' -bench "$HOT" -benchmem -benchtime 300ms | tee bench/current_hot.txt
+go test ./internal/bitvec -run '^$' -bench . -benchmem -benchtime 200ms | tee bench/current_bitvec.txt
+
+go run ./scripts/benchjson -out "$OUT" \
+  -baseline bench/baseline_hot.txt -baseline bench/baseline_bitvec.txt \
+  -current bench/current_hot.txt -current bench/current_bitvec.txt
+
+echo "wrote $OUT"
