@@ -18,7 +18,10 @@
 //	-iters int           override median trials 35·log₂(1/δ)
 //	-seed int            random seed (runs are deterministic per seed)
 //	-binary              use the ApproxMC2 binary search (bucketing only)
-//	-v                   also report oracle-query counts
+//	-v                   also report oracle-query counts and, for
+//	                     SAT-backed runs, the CDCL solver's work counters
+//	                     (decisions, propagations, conflicts, learned and
+//	                     deleted clauses, restarts)
 package main
 
 import (
@@ -82,6 +85,10 @@ func main() {
 	fmt.Printf("c log2(count) = %.3f\n", mcf0.Log2(res.Estimate))
 	if *verbose {
 		fmt.Printf("c oracle queries = %d\n", res.OracleQueries)
+		if st := res.Solver; st != (mcf0.SolverStats{}) {
+			fmt.Printf("c solver: decisions=%d propagations=%d conflicts=%d learned=%d deleted=%d restarts=%d\n",
+				st.Decisions, st.Propagations, st.Conflicts, st.Learned, st.Deleted, st.Restarts)
+		}
 	}
 }
 

@@ -1,0 +1,82 @@
+package counting
+
+import (
+	"reflect"
+	"testing"
+
+	"mcf0/internal/formula"
+	"mcf0/internal/oracle"
+	"mcf0/internal/stats"
+)
+
+// Regression tests for oracle-level solver reuse: a CNFSource keeps one
+// incremental CDCL solver across queries (and across whole ApproxMC runs),
+// and its results must be indistinguishable from a fresh source per run, on
+// every E1 configuration (linear and binary prefix search, serial and
+// parallel trials).
+
+func e1Options(seed uint64, binary bool, par int) Options {
+	return Options{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7,
+		RNG: stats.NewRNG(seed), BinarySearch: binary, Parallelism: par}
+}
+
+func TestApproxMCReusedSolverMatchesFresh(t *testing.T) {
+	rng := stats.NewRNG(811)
+	cnf, _ := formula.PlantedKCNF(14, 21, 3, rng)
+	for _, binary := range []bool{false, true} {
+		for _, par := range []int{1, 4} {
+			reused := oracle.NewCNFSource(cnf)
+			for seed := uint64(0); seed < 3; seed++ {
+				fresh := oracle.NewCNFSource(cnf)
+				want := ApproxMC(fresh, e1Options(seed, binary, par))
+				got := ApproxMC(reused, e1Options(seed, binary, par))
+				if got.Estimate != want.Estimate {
+					t.Fatalf("bin=%v par=%d seed=%d: reused estimate %g, fresh %g",
+						binary, par, seed, got.Estimate, want.Estimate)
+				}
+				if !reflect.DeepEqual(got.PerIteration, want.PerIteration) {
+					t.Fatalf("bin=%v par=%d seed=%d: per-iteration %v vs %v",
+						binary, par, seed, got.PerIteration, want.PerIteration)
+				}
+				if got.OracleQueries != want.OracleQueries {
+					t.Fatalf("bin=%v par=%d seed=%d: reused queries %d, fresh %d",
+						binary, par, seed, got.OracleQueries, want.OracleQueries)
+				}
+			}
+		}
+	}
+}
+
+// TestApproxMCParallelismInvariantCNF: estimates and query totals for a
+// fixed seed are identical at every parallelism level (forks per trial vs
+// one shared serial solver).
+func TestApproxMCParallelismInvariantCNF(t *testing.T) {
+	rng := stats.NewRNG(821)
+	cnf, _ := formula.PlantedKCNF(12, 18, 3, rng)
+	for _, binary := range []bool{false, true} {
+		base := ApproxMC(oracle.NewCNFSource(cnf), e1Options(5, binary, 1))
+		for _, par := range []int{2, 4, 8} {
+			got := ApproxMC(oracle.NewCNFSource(cnf), e1Options(5, binary, par))
+			if got.Estimate != base.Estimate || !reflect.DeepEqual(got.PerIteration, base.PerIteration) {
+				t.Fatalf("bin=%v par=%d: estimate %g/%v, serial %g/%v",
+					binary, par, got.Estimate, got.PerIteration, base.Estimate, base.PerIteration)
+			}
+			if got.OracleQueries != base.OracleQueries {
+				t.Fatalf("bin=%v par=%d: queries %d, serial %d", binary, par, got.OracleQueries, base.OracleQueries)
+			}
+		}
+	}
+}
+
+// TestSolverStatsAggregate: the aggregated CDCL counters cover work done by
+// forked trial solvers and survive internal rebuilds.
+func TestSolverStatsAggregate(t *testing.T) {
+	rng := stats.NewRNG(823)
+	cnf, _ := formula.PlantedKCNF(12, 18, 3, rng)
+	src := oracle.NewCNFSource(cnf)
+	ApproxMC(src, e1Options(1, false, 4))
+	st := src.SolverStats()
+	if st.Decisions == 0 && st.Propagations == 0 {
+		t.Fatalf("aggregated solver stats empty: %+v", st)
+	}
+}

@@ -16,6 +16,7 @@ package oracle
 
 import (
 	"math/bits"
+	"sync"
 
 	"mcf0/internal/bitvec"
 	"mcf0/internal/formula"
@@ -66,18 +67,80 @@ func ForkTrailingZeroTester(tz TrailingZeroTester) (TrailingZeroTester, bool) {
 	return t, ok
 }
 
-// CNFSource is the SAT-backed oracle for CNF formulas.
+// CNFSource is the SAT-backed oracle for CNF formulas. One CDCL solver
+// instance is built lazily per source (φ's clauses are loaded exactly once)
+// and reused across every Enumerate call, following the incremental
+// CNF-XOR protocol of ApproxMC-on-CryptoMiniSat:
+//
+//   - each distinct XOR row A·x = b of a query's constraint system is
+//     installed once as A·x ⊕ sel = b with a fresh activation selector
+//     variable sel, and enabled per query by assuming ¬sel. With sel free
+//     the row merely defines sel = A·x ⊕ b and constrains nothing, so rows
+//     from earlier hash functions stay inert. Because the prefix systems
+//     h_m(x) = 0^m of one hash are nested in echelon form, the hash-count
+//     search at prefix m reuses the m−1 rows it already installed.
+//   - a query's blocking clauses carry one shared blocking selector,
+//     assumed false while the cell is enumerated and pinned true (a unit
+//     clause) when the query finishes, which permanently satisfies — and
+//     lets the solver's Simplify pass physically delete — every blocking
+//     clause of that query.
+//
+// Under any Enumerate call's assumptions the auxiliary variables are all
+// functions of x (row selectors via their XOR rows, retired blocking
+// selectors via their units), so solver models remain in bijection with
+// solutions of φ ∧ cons.
 type CNFSource struct {
 	cnf     *formula.CNF
 	queries int64
+
+	solver *sat.Solver
+	broken bool // φ unsatisfiable at level 0
+	// rowSel maps an XOR row's A-part to its activation selector per rhs
+	// (-1 absent); fingerprint keys keep the per-query lookups
+	// allocation-free (see the bitvec.Fingerprint collision contract).
+	rowSel  map[bitvec.Fingerprint][2]int
+	retired int       // blocking selectors pinned since last Simplify
+	worked  sat.Stats // counters of solvers retired by rebuilds
+	forks   *cnfForks
+}
+
+// auxBudget bounds the auxiliary (selector) variables a solver instance may
+// accumulate before Enumerate retires it and rebuilds from φ: stale rows
+// and retired selectors are inert but still cost propagation and model
+// width, so unbounded reuse across many hash functions (e.g. one serial
+// source serving every trial) would degrade linearly. A rebuild costs one
+// CNF load — what the pre-incremental oracle paid on every query.
+func (s *CNFSource) auxBudget() int {
+	b := 8 * s.cnf.N
+	if b < 256 {
+		b = 256
+	}
+	return b
+}
+
+// cnfForks tracks every fork of a source so solver work counters can be
+// aggregated for reporting.
+type cnfForks struct {
+	mu      sync.Mutex
+	members []*CNFSource
 }
 
 // NewCNFSource wraps a CNF formula.
-func NewCNFSource(c *formula.CNF) *CNFSource { return &CNFSource{cnf: c} }
+func NewCNFSource(c *formula.CNF) *CNFSource {
+	s := &CNFSource{cnf: c, forks: &cnfForks{}}
+	s.forks.members = append(s.forks.members, s)
+	return s
+}
 
 // Fork returns an independent source over the same formula with its own
-// query meter.
-func (s *CNFSource) Fork() Source { return NewCNFSource(s.cnf) }
+// query meter and its own solver instance.
+func (s *CNFSource) Fork() Source {
+	f := &CNFSource{cnf: s.cnf, forks: s.forks}
+	s.forks.mu.Lock()
+	s.forks.members = append(s.forks.members, f)
+	s.forks.mu.Unlock()
+	return f
+}
 
 // NVars returns the variable count.
 func (s *CNFSource) NVars() int { return s.cnf.N }
@@ -85,46 +148,157 @@ func (s *CNFSource) NVars() int { return s.cnf.N }
 // Queries returns the number of SAT-solver invocations so far.
 func (s *CNFSource) Queries() int64 { return s.queries }
 
-// Enumerate builds a fresh CDCL solver with φ's clauses plus cons as native
-// XOR rows and enumerates models with blocking clauses. Each model costs
-// one SAT call, plus one final UNSAT call (mirroring the paper's
-// O(p) NP calls for BoundedSAT).
+// SolverStats aggregates the CDCL work counters across this source and all
+// of its forks. It must not be called while forked trials are still
+// running.
+func (s *CNFSource) SolverStats() sat.Stats {
+	s.forks.mu.Lock()
+	defer s.forks.mu.Unlock()
+	var total sat.Stats
+	for _, m := range s.forks.members {
+		total.Add(m.worked)
+		if m.solver != nil {
+			total.Add(m.solver.Stats())
+		}
+	}
+	return total
+}
+
+// build loads φ into a fresh solver; false means φ is unsatisfiable at
+// level 0.
+func (s *CNFSource) build() bool {
+	s.solver = sat.New(s.cnf.N)
+	s.rowSel = make(map[bitvec.Fingerprint][2]int)
+	for _, cl := range s.cnf.Clauses {
+		if !s.solver.AddClause([]formula.Lit(cl)) {
+			s.broken = true
+			return false
+		}
+	}
+	return true
+}
+
+// retire drops the current solver; the next query rebuilds from φ.
+func (s *CNFSource) retire() {
+	if s.solver == nil {
+		return
+	}
+	s.worked.Add(s.solver.Stats())
+	s.solver = nil
+	s.rowSel = nil
+	s.retired = 0
+}
+
+// selector returns the activation selector for the XOR row (eq.A, eq.RHS),
+// installing the row on first sight.
+func (s *CNFSource) selector(eq gf2.Equation) (int, bool) {
+	key := eq.A.Fingerprint()
+	rhs := 0
+	if eq.RHS {
+		rhs = 1
+	}
+	sels, cached := s.rowSel[key]
+	if !cached {
+		sels = [2]int{-1, -1}
+	}
+	if sels[rhs] >= 0 {
+		return sels[rhs], true
+	}
+	sel := s.solver.AddVar()
+	vars := make([]int, 0, eq.A.PopCount()+1)
+	for wi, w := range eq.A.Words() {
+		for w != 0 {
+			vars = append(vars, wi*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	vars = append(vars, sel)
+	if !s.solver.AddXOR(vars, eq.RHS) {
+		return 0, false
+	}
+	sels[rhs] = sel
+	s.rowSel[key] = sels
+	return sel, true
+}
+
+// Enumerate solves φ ∧ cons on the shared incremental solver, enabling the
+// constraint rows by assumption and blocking each model before searching
+// for the next. Each model costs one SAT call, plus one final UNSAT call
+// (mirroring the paper's O(p) NP calls for BoundedSAT).
 func (s *CNFSource) Enumerate(cons *gf2.System, limit int, visit func(bitvec.BitVec) bool) int {
 	if cons != nil && !cons.Consistent() {
 		return 0
 	}
-	solver := sat.New(s.cnf.N)
-	for _, cl := range s.cnf.Clauses {
-		if !solver.AddClause([]formula.Lit(cl)) {
+	if limit == 0 {
+		return 0
+	}
+	if s.solver != nil && s.solver.NVars()-s.cnf.N > s.auxBudget() {
+		s.retire()
+	}
+	var eqs []gf2.Equation
+	if cons != nil {
+		eqs = cons.Equations()
+	}
+	// Hash turnover: when none of the query's rows are cached, the cached
+	// rows belong to an abandoned hash function and would only slow
+	// propagation down — start a fresh solver instead of dragging them
+	// along. (Prefix systems of one hash are nested, so within a
+	// hash-count search there is always overlap.)
+	if len(eqs) > 0 && s.solver != nil && len(s.rowSel) > 0 {
+		hit := false
+		for _, eq := range eqs {
+			if _, ok := s.rowSel[eq.A.Fingerprint()]; ok {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			s.retire()
+		}
+	}
+	if s.solver == nil && !s.build() {
+		return 0
+	}
+	if s.broken {
+		return 0
+	}
+	n := s.cnf.N
+	var assumps []formula.Lit
+	for _, eq := range eqs {
+		sel, ok := s.selector(eq)
+		if !ok {
+			// Installing an independent row can only fail when the
+			// solver is already unsatisfiable at level 0.
+			s.broken = true
 			return 0
 		}
+		assumps = append(assumps, formula.Lit{Var: sel, Neg: true})
 	}
-	if cons != nil {
-		for _, eq := range cons.Equations() {
-			vars := make([]int, 0, eq.A.PopCount())
-			for i := 0; i < eq.A.Len(); i++ {
-				if eq.A.Get(i) {
-					vars = append(vars, i)
-				}
-			}
-			if !solver.AddXOR(vars, eq.RHS) {
-				return 0
-			}
-		}
+	// Blocking clauses are scoped to this query by a blocking selector,
+	// assumed false now and pinned true afterwards. limit == 1 never
+	// blocks, so feasibility probes stay selector-free.
+	var extra []formula.Lit
+	blockSel := -1
+	if limit != 1 {
+		blockSel = s.solver.AddVar()
+		assumps = append(assumps, formula.Lit{Var: blockSel, Neg: true})
+		extra = []formula.Lit{{Var: blockSel}}
 	}
-	count := 0
-	for limit < 0 || count < limit {
+	count, exhausted := s.solver.EnumerateBlocking(limit, n, extra, visit, assumps...)
+	// Meter like a solve-block-resolve loop: one SAT call per model, plus
+	// the final UNSAT call when the cell was exhausted.
+	s.queries += int64(count)
+	if exhausted {
 		s.queries++
-		model, ok := solver.Solve()
-		if !ok {
-			break
-		}
-		count++
-		if !visit(model) {
-			break
-		}
-		if !solver.BlockModel(model) {
-			break
+	}
+	if blockSel >= 0 && count > 0 {
+		// Retire this query's blocking clauses by pinning the selector;
+		// compact them away once enough queries have accumulated.
+		s.solver.AddClause([]formula.Lit{{Var: blockSel}})
+		s.retired++
+		if s.retired >= 8 {
+			s.solver.Simplify()
+			s.retired = 0
 		}
 	}
 	return count

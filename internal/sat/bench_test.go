@@ -1,0 +1,157 @@
+package sat
+
+import (
+	"testing"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/formula"
+	"mcf0/internal/stats"
+)
+
+// The three microbenchmarks cover the solver's distinct cost regimes —
+// propagation-dominated search, XOR(GF(2))-dominated propagation, and
+// blocking-clause enumeration — so scripts/bench.sh can attribute E1
+// regressions to the right subsystem.
+
+// benchPlanted returns a satisfiable planted 3-CNF at clause ratio 4.
+func benchPlanted(n int, rng *stats.RNG) *formula.CNF {
+	cnf, _ := formula.PlantedKCNF(n, 4*n, 3, rng)
+	return cnf
+}
+
+func loadCNF(s *Solver, cnf *formula.CNF) bool {
+	for _, cl := range cnf.Clauses {
+		if !s.AddClause([]formula.Lit(cl)) {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchmarkSolvePropagateHeavy builds and solves a planted 3-SAT instance:
+// unit propagation over the clause watch lists is the dominant cost.
+func BenchmarkSolvePropagateHeavy(b *testing.B) {
+	rng := stats.NewRNG(71)
+	cnf := benchPlanted(150, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(cnf.N)
+		if !loadCNF(s, cnf) {
+			b.Fatal("planted instance unsat at load")
+		}
+		if _, ok := s.Solve(); !ok {
+			b.Fatal("planted instance unsat")
+		}
+	}
+}
+
+// BenchmarkSolveXORHeavy solves a consistent dense random XOR system plus a
+// thin planted CNF layer: XOR watch propagation and conflict analysis over
+// parity reasons dominate.
+func BenchmarkSolveXORHeavy(b *testing.B) {
+	rng := stats.NewRNG(73)
+	n := 96
+	xstar := bitvec.Random(n, rng.Uint64)
+	rows := make([]bitvec.BitVec, 64)
+	rhs := make([]bool, len(rows))
+	for i := range rows {
+		rows[i] = bitvec.Random(n, rng.Uint64)
+		rhs[i] = rows[i].Dot(xstar)
+	}
+	var vars [][]int
+	for _, r := range rows {
+		var vs []int
+		for v := 0; v < n; v++ {
+			if r.Get(v) {
+				vs = append(vs, v)
+			}
+		}
+		vars = append(vars, vs)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(n)
+		for j := range vars {
+			if !s.AddXOR(vars[j], rhs[j]) {
+				b.Fatal("consistent XOR system rejected")
+			}
+		}
+		if _, ok := s.Solve(); !ok {
+			b.Fatal("consistent XOR system unsat")
+		}
+	}
+}
+
+// BenchmarkEnumerationHeavy enumerates every model of a loose CNF cell cut
+// down by XOR constraints — the BoundedSAT shape: repeated Solve calls with
+// accumulating blocking clauses.
+func BenchmarkEnumerationHeavy(b *testing.B) {
+	rng := stats.NewRNG(79)
+	n := 18
+	cnf, _ := formula.PlantedKCNF(n, n, 3, rng)
+	xstar := bitvec.Random(n, rng.Uint64)
+	rows := make([]bitvec.BitVec, 6)
+	rhs := make([]bool, len(rows))
+	for i := range rows {
+		rows[i] = bitvec.Random(n, rng.Uint64)
+		rhs[i] = rows[i].Dot(xstar)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(n)
+		if !loadCNF(s, cnf) {
+			b.Fatal("planted instance unsat at load")
+		}
+		for j := range rows {
+			var vs []int
+			for v := 0; v < n; v++ {
+				if rows[j].Get(v) {
+					vs = append(vs, v)
+				}
+			}
+			if !s.AddXOR(vs, rhs[j]) {
+				b.Fatal("planted XOR rejected")
+			}
+		}
+		if got := s.EnumerateModels(-1, func(bitvec.BitVec) bool { return true }); got == 0 {
+			b.Fatal("planted cell empty")
+		}
+	}
+}
+
+// BenchmarkIncrementalAssumptions measures the oracle usage pattern one
+// solver instance now serves: XOR rows installed once behind activation
+// selectors, then many Solve calls under growing selector-assumption
+// prefixes (the hash-count search shape), with no per-query rebuild.
+func BenchmarkIncrementalAssumptions(b *testing.B) {
+	rng := stats.NewRNG(83)
+	n := 64
+	cnf, xstar := formula.PlantedKCNF(n, 4*n, 3, rng)
+	s := New(cnf.N)
+	if !loadCNF(s, cnf) {
+		b.Fatal("planted instance unsat at load")
+	}
+	sels := make([]formula.Lit, 24)
+	for i := range sels {
+		row := bitvec.Random(n, rng.Uint64)
+		sel := s.AddVar()
+		vs := []int{sel}
+		for v := 0; v < n; v++ {
+			if row.Get(v) {
+				vs = append(vs, v)
+			}
+		}
+		if !s.AddXOR(vs, row.Dot(xstar)) {
+			b.Fatal("selector row rejected")
+		}
+		sels[i] = formula.Lit{Var: sel, Neg: true}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := 1 + i%len(sels)
+		if _, ok := s.Solve(sels[:m]...); !ok {
+			b.Fatal("planted cell empty")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package sat
+
+// VSIDS decision heap: a binary max-heap over variable activities with an
+// index array for O(log n) activity bumps, replacing the former O(n) linear
+// scan per decision. Assigned variables are removed lazily (popped and
+// discarded); cancelUntil re-inserts variables as they are unassigned.
+
+// heapLess orders the heap: higher activity first, variable index as a
+// deterministic tie-break.
+func (s *Solver) heapLess(a, b uint32) bool {
+	if s.activity[a] != s.activity[b] {
+		return s.activity[a] > s.activity[b]
+	}
+	return a < b
+}
+
+func (s *Solver) heapSwap(i, j int) {
+	h := s.heap
+	h[i], h[j] = h[j], h[i]
+	s.heapIndex[h[i]] = int32(i)
+	s.heapIndex[h[j]] = int32(j)
+}
+
+func (s *Solver) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(s.heap[i], s.heap[p]) {
+			break
+		}
+		s.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (s *Solver) heapDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && s.heapLess(s.heap[l], s.heap[best]) {
+			best = l
+		}
+		if r < n && s.heapLess(s.heap[r], s.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		s.heapSwap(i, best)
+		i = best
+	}
+}
+
+// heapInsert adds v unless it is already queued.
+func (s *Solver) heapInsert(v uint32) {
+	if s.heapIndex[v] >= 0 {
+		return
+	}
+	s.heap = append(s.heap, v)
+	s.heapIndex[v] = int32(len(s.heap) - 1)
+	s.heapUp(len(s.heap) - 1)
+}
+
+// heapPop removes and returns the maximum-activity variable, or -1 when
+// empty.
+func (s *Solver) heapPop() int {
+	if len(s.heap) == 0 {
+		return -1
+	}
+	v := s.heap[0]
+	last := len(s.heap) - 1
+	s.heapSwap(0, last)
+	s.heap = s.heap[:last]
+	s.heapIndex[v] = -1
+	if last > 0 {
+		s.heapDown(0)
+	}
+	return int(v)
+}
+
+// heapFix restores heap order after v's activity increased.
+func (s *Solver) heapFix(v uint32) {
+	if i := s.heapIndex[v]; i >= 0 {
+		s.heapUp(int(i))
+	}
+}

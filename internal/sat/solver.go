@@ -2,16 +2,42 @@
 // solver with native XOR-constraint support. It is the NP-oracle substrate
 // for the hashing-based model counters: queries of the form
 // φ ∧ (h_m(x) = 0^m) conjoin a CNF with XOR (GF(2)) constraints, exactly
-// the CNF-XOR instances that motivated solvers like CryptoMiniSat. Here the
-// XOR rows are propagated natively with a two-watch scheme, so hash
-// constraints never have to be expanded into exponentially many clauses.
+// the CNF-XOR instances that motivated solvers like CryptoMiniSat.
 //
-// The solver uses two-watched-literal propagation, VSIDS-style variable
-// activities, first-UIP conflict analysis, and Luby restarts. It is not
-// safe for concurrent use.
+// Design:
+//
+//   - Clauses live in a flat arena (one []uint32 of headers + literals, see
+//     arena.go) referenced by offset, so the clause database is a single
+//     allocation, propagation walks contiguous memory, and learned-clause
+//     deletion compacts in one pass.
+//   - Unit propagation uses two watched literals per clause with blocking
+//     literals in the watch lists: a satisfied blocker skips the clause
+//     without touching the arena.
+//   - XOR rows are propagated natively with a two-watch scheme over their
+//     variables (xor.go), after reduction against an online echelon basis
+//     that catches linearly dependent or contradictory rows at add time.
+//   - Decisions use VSIDS activities via an indexed binary max-heap
+//     (heap.go) with multiplicative decay, and phase saving for polarity.
+//   - Conflicts are analysed to the first unique implication point; each
+//     learned clause is scored with its LBD (literal block distance, the
+//     number of distinct decision levels it spans). When the learned
+//     database outgrows its budget the solver restarts and deletes the
+//     worst half by (LBD, size), keeping "glue" clauses (LBD ≤ 2) and
+//     compacting the arena (reduce at level 0 means no learned clause is
+//     locked as a reason).
+//   - Restarts follow the Luby sequence (base 100 conflicts).
+//   - Solving is incremental: clauses, XOR rows, and fresh variables
+//     (AddVar) may be added between Solve calls, and Solve takes assumption
+//     literals that are fixed for that call only and fully undone before it
+//     returns — the substrate for reusing one solver across the model
+//     counters' hash-cell queries via activation selectors.
+//
+// The solver is not safe for concurrent use.
 package sat
 
 import (
+	"sort"
+
 	"mcf0/internal/bitvec"
 	"mcf0/internal/formula"
 	"mcf0/internal/gf2"
@@ -27,73 +53,93 @@ const (
 )
 
 // Literal encoding: positive literal of variable v is 2v, negative 2v+1.
-func mkLit(v int, neg bool) int {
-	l := v << 1
+func mkLit(v int, neg bool) uint32 {
+	l := uint32(v) << 1
 	if neg {
 		l |= 1
 	}
 	return l
 }
 
-func litVar(l int) int   { return l >> 1 }
-func litNeg(l int) int   { return l ^ 1 }
-func litSign(l int) bool { return l&1 == 1 }
+func litVar(l uint32) uint32 { return l >> 1 }
 
-// Reason markers: reasonNone for decisions/unassigned; otherwise a clause
-// index, or xorReasonBase+idx for XOR-implied assignments.
-const reasonNone = -1
+// Reason and conflict descriptors: a cref, or xorFlag|xorIndex, or the
+// sentinels below. Arena offsets stay under xorFlag.
+const (
+	reasonNone uint32 = ^uint32(0)
+	confNone   uint32 = ^uint32(0)
+	xorFlag    uint32 = 1 << 31
+)
 
-type clause struct {
-	lits    []int
-	learned bool
-}
-
-type xorRow struct {
-	vars []int // sorted, distinct
-	rhs  bool
-	// w1, w2 are indices into vars of the two watched positions.
-	w1, w2 int
-}
-
-// Stats counts solver work, used by the experiment harness.
+// Stats counts solver work, used by the experiment harness and surfaced by
+// cmd/approxmc -v.
 type Stats struct {
 	Decisions    int64
 	Propagations int64
 	Conflicts    int64
 	Learned      int64
-	Restarts     int64
+	// Deleted counts learned clauses removed by database reduction.
+	Deleted  int64
+	Restarts int64
 }
 
-// Solver is a CDCL SAT solver over a fixed set of variables.
-type Solver struct {
-	nVars   int
-	clauses []*clause
-	xors    []*xorRow
+// Add accumulates o into s, for aggregating per-fork solver meters.
+func (s *Stats) Add(o Stats) {
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.Learned += o.Learned
+	s.Deleted += o.Deleted
+	s.Restarts += o.Restarts
+}
 
-	watches    [][]int // literal → clause indices watching it
-	xorWatches [][]int // variable → xor indices watching it
-	// xorSys keeps every added XOR row in reduced echelon form. Reducing
-	// new rows against it detects XOR-level unsatisfiability immediately
-	// (plain clause learning needs exponential resolution proofs on dense
-	// XOR systems — the very observation behind Gaussian-elimination
-	// solvers like CryptoMiniSat/BIRD) and gives each watched row a unique
-	// pivot variable, which keeps propagation chains short.
-	xorSys *gf2.System
+// Solver is an incremental CDCL SAT solver.
+type Solver struct {
+	nVars    int
+	baseVars int // variables present at New; the XOR basis covers these
+
+	ca      clauseArena
+	clauses []cref // problem clauses
+	learnts []cref
+
+	watches    [][]watcher // literal → watch list
+	xors       []xorRow
+	xorWatches [][]uint32 // variable → xor indices watching it
+	xorSys     *gf2.System
 
 	assign   []lbool
-	level    []int
-	reason   []int
+	level    []int32
+	reason   []uint32
 	phase    []bool // saved phase for decision polarity
 	activity []float64
 	varInc   float64
 
-	trail    []int
-	trailLim []int
+	heap      []uint32
+	heapIndex []int32
+
+	trail    []uint32
+	trailLim []int32
 	qhead    int
+
+	maxLearnts int
 
 	unsat bool // established at level 0
 
-	seen  []bool // scratch for conflict analysis
+	// Scratch buffers (zero steady-state allocation on the hot paths).
+	seen         []bool
+	levelStamp   []uint64
+	lbdStamp     uint64
+	learnedBuf   []uint32
+	encBuf       []uint32
+	litSeen      []uint8
+	xorVarBuf    []uint32
+	xorClauseBuf []uint32
+	xorVecBuf    bitvec.BitVec
+	xorResBuf    bitvec.BitVec
+	assumpBuf    []uint32
+	blockBuf     []uint32
+	reduceBuf    []cref
+
 	stats Stats
 }
 
@@ -101,83 +147,119 @@ type Solver struct {
 func New(nVars int) *Solver {
 	s := &Solver{
 		nVars:      nVars,
-		watches:    make([][]int, 2*nVars),
-		xorWatches: make([][]int, nVars),
+		baseVars:   nVars,
+		watches:    make([][]watcher, 2*nVars),
+		xorWatches: make([][]uint32, nVars),
 		xorSys:     gf2.NewSystem(nVars),
-		assign:     make([]lbool, nVars),
-		level:      make([]int, nVars),
-		reason:     make([]int, nVars),
+		assign:     make([]lbool, 2*nVars),
+		level:      make([]int32, nVars),
+		reason:     make([]uint32, nVars),
 		phase:      make([]bool, nVars),
 		activity:   make([]float64, nVars),
 		varInc:     1,
+		heap:       make([]uint32, nVars),
+		heapIndex:  make([]int32, nVars),
+		maxLearnts: 1000,
 		seen:       make([]bool, nVars),
+		levelStamp: make([]uint64, nVars+1),
+		litSeen:    make([]uint8, 2*nVars),
+		xorVecBuf:  bitvec.New(nVars),
+		xorResBuf:  bitvec.New(nVars),
 	}
 	for i := range s.reason {
 		s.reason[i] = reasonNone
 	}
+	for v := 0; v < nVars; v++ {
+		s.heap[v] = uint32(v)
+		s.heapIndex[v] = int32(v)
+	}
 	return s
 }
 
-// NVars returns the variable count.
+// NVars returns the current variable count, including variables added with
+// AddVar.
 func (s *Solver) NVars() int { return s.nVars }
 
 // Stats returns a copy of the work counters.
 func (s *Solver) Stats() Stats { return s.stats }
 
-func (s *Solver) value(l int) lbool {
-	v := s.assign[litVar(l)]
-	if v == lUndef {
-		return lUndef
-	}
-	if litSign(l) {
-		if v == lTrue {
-			return lFalse
-		}
-		return lTrue
-	}
+// AddVar introduces a fresh unassigned variable and returns its index.
+// Fresh variables serve as activation selectors in the incremental
+// protocol: a constraint extended with a fresh variable is enabled by
+// assuming the selector false and retired by pinning it true.
+func (s *Solver) AddVar() int {
+	v := s.nVars
+	s.nVars++
+	s.watches = append(s.watches, nil, nil)
+	s.xorWatches = append(s.xorWatches, nil)
+	s.assign = append(s.assign, lUndef, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, reasonNone)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.litSeen = append(s.litSeen, 0, 0)
+	s.levelStamp = append(s.levelStamp, 0)
+	s.heapIndex = append(s.heapIndex, -1)
+	s.heapInsert(uint32(v))
 	return v
 }
+
+// value returns literal l's truth value; assignments are stored per
+// literal (both polarities written on enqueue) so this is a single load on
+// the propagation hot path.
+func (s *Solver) value(l uint32) lbool { return s.assign[l] }
+
+// varValue returns variable v's truth value.
+func (s *Solver) varValue(v uint32) lbool { return s.assign[v<<1] }
 
 // AddClause adds a disjunction of literals. Returns false if the formula is
 // already unsatisfiable at level 0. Must be called at decision level 0
 // (true initially and after Solve returns).
 func (s *Solver) AddClause(lits []formula.Lit) bool {
-	enc := make([]int, len(lits))
-	for i, l := range lits {
-		if l.Var < 0 || l.Var >= s.nVars {
-			panic("sat: literal variable out of range")
-		}
-		enc[i] = mkLit(l.Var, l.Neg)
-	}
-	return s.addClauseEnc(enc, false)
-}
-
-func (s *Solver) addClauseEnc(lits []int, learned bool) bool {
 	if s.unsat {
 		return false
 	}
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause above decision level 0")
 	}
-	// Simplify: drop false literals, detect satisfied/tautological clauses,
-	// dedupe.
-	out := lits[:0:0]
-	seen := map[int]bool{}
+	enc := s.encBuf[:0]
 	for _, l := range lits {
+		if l.Var < 0 || l.Var >= s.nVars {
+			panic("sat: literal variable out of range")
+		}
+		enc = append(enc, mkLit(l.Var, l.Neg))
+	}
+	s.encBuf = enc[:0]
+	// Simplify: drop false literals, detect satisfied/tautological clauses,
+	// dedupe via the per-literal scratch marks.
+	out := enc[:0]
+	result := int8(-1) // -1: keep going, 0: satisfied/tautology, 1: install
+	for _, l := range enc {
 		switch s.value(l) {
 		case lTrue:
-			return true // already satisfied at level 0
+			result = 0
 		case lFalse:
 			continue
+		default:
+			if s.litSeen[l] != 0 {
+				continue
+			}
+			if s.litSeen[l^1] != 0 {
+				result = 0 // tautology
+			}
+			s.litSeen[l] = 1
+			out = append(out, l)
 		}
-		if seen[l] {
-			continue
+		if result == 0 {
+			break
 		}
-		if seen[litNeg(l)] {
-			return true // tautology
-		}
-		seen[l] = true
-		out = append(out, l)
+	}
+	for _, l := range out {
+		s.litSeen[l] = 0
+	}
+	if result == 0 {
+		return true
 	}
 	switch len(out) {
 	case 0:
@@ -191,97 +273,33 @@ func (s *Solver) addClauseEnc(lits []int, learned bool) bool {
 		}
 		return true
 	}
-	idx := len(s.clauses)
-	s.clauses = append(s.clauses, &clause{lits: out, learned: learned})
-	s.watches[out[0]] = append(s.watches[out[0]], idx)
-	s.watches[out[1]] = append(s.watches[out[1]], idx)
+	c := s.ca.alloc(out, false, 0)
+	s.clauses = append(s.clauses, c)
+	s.attach(c, out[0], out[1])
 	return true
 }
 
-// AddXOR adds the GF(2) constraint vars[0] ⊕ vars[1] ⊕ … = rhs. Duplicate
-// variables cancel. Returns false if the formula becomes unsatisfiable.
-func (s *Solver) AddXOR(vars []int, rhs bool) bool {
-	if s.unsat {
-		return false
-	}
-	if s.decisionLevel() != 0 {
-		panic("sat: AddXOR above decision level 0")
-	}
-	// Fold duplicate variables, then reduce against the echelon basis of
-	// all previously added rows: a linearly dependent row is either
-	// redundant or an immediate contradiction.
-	count := map[int]int{}
-	for _, v := range vars {
-		if v < 0 || v >= s.nVars {
-			panic("sat: XOR variable out of range")
-		}
-		count[v]++
-	}
-	vec := bitvec.New(s.nVars)
-	for v, c := range count {
-		if c%2 == 1 {
-			vec.Set(v, true)
-		}
-	}
-	red, rrhs := s.xorSys.Residual(vec, rhs)
-	if red.IsZero() {
-		if rrhs {
-			s.unsat = true
-			return false
-		}
-		return true // implied by earlier rows
-	}
-	s.xorSys.Add(vec, rhs)
-	// Fold level-0 assignments into the reduced row before watching it.
-	var vs []int
-	for v := 0; v < s.nVars; v++ {
-		if !red.Get(v) {
-			continue
-		}
-		switch s.assign[v] {
-		case lTrue:
-			rrhs = !rrhs
-		case lFalse:
-		default:
-			vs = append(vs, v)
-		}
-	}
-	rhs = rrhs
-	switch len(vs) {
-	case 0:
-		if rhs {
-			s.unsat = true
-			return false
-		}
-		return true
-	case 1:
-		s.enqueue(mkLit(vs[0], !rhs), reasonNone)
-		if s.propagate() != confNone {
-			s.unsat = true
-			return false
-		}
-		return true
-	}
-	idx := len(s.xors)
-	row := &xorRow{vars: vs, rhs: rhs, w1: 0, w2: 1}
-	s.xors = append(s.xors, row)
-	s.xorWatches[vs[0]] = append(s.xorWatches[vs[0]], idx)
-	s.xorWatches[vs[1]] = append(s.xorWatches[vs[1]], idx)
-	return true
+func (s *Solver) attach(c cref, l0, l1 uint32) {
+	s.watches[l0] = append(s.watches[l0], watcher{c: c, blocker: l1})
+	s.watches[l1] = append(s.watches[l1], watcher{c: c, blocker: l0})
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+	if len(s.levelStamp) <= len(s.trailLim) {
+		s.levelStamp = append(s.levelStamp, 0)
+	}
+}
+
 // enqueue records the assignment implied by literal l with the given
 // reason. The caller must ensure l is currently unassigned.
-func (s *Solver) enqueue(l int, reason int) {
-	v := litVar(l)
-	if litSign(l) {
-		s.assign[v] = lFalse
-	} else {
-		s.assign[v] = lTrue
-	}
-	s.level[v] = s.decisionLevel()
+func (s *Solver) enqueue(l uint32, reason uint32) {
+	s.assign[l] = lTrue
+	s.assign[l^1] = lFalse
+	v := l >> 1
+	s.level[v] = int32(s.decisionLevel())
 	s.reason[v] = reason
 	s.trail = append(s.trail, l)
 }
@@ -291,61 +309,67 @@ func (s *Solver) cancelUntil(lvl int) {
 		return
 	}
 	bound := s.trailLim[lvl]
-	for i := len(s.trail) - 1; i >= bound; i-- {
-		v := litVar(s.trail[i])
-		s.phase[v] = s.assign[v] == lTrue
-		s.assign[v] = lUndef
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		l := s.trail[i]
+		v := l >> 1
+		s.phase[v] = l&1 == 0
+		s.assign[l] = lUndef
+		s.assign[l^1] = lUndef
 		s.reason[v] = reasonNone
+		s.heapInsert(v)
 	}
 	s.trail = s.trail[:bound]
 	s.trailLim = s.trailLim[:lvl]
 	s.qhead = len(s.trail)
 }
 
-// conflict descriptor: confNone, a clause index, or an encoded XOR index.
-const (
-	confNone    = -1
-	xorConfBase = 1 << 30
-)
-
 // propagate performs unit propagation over clauses and XOR rows until
 // fixpoint or conflict. Returns a conflict descriptor.
-func (s *Solver) propagate() int {
+func (s *Solver) propagate() uint32 {
 	for s.qhead < len(s.trail) {
 		l := s.trail[s.qhead]
 		s.qhead++
 		s.stats.Propagations++
-		if conf := s.propagateClauses(litNeg(l)); conf != confNone {
+		if conf := s.propagateClauses(l ^ 1); conf != confNone {
 			return conf
 		}
-		if conf := s.propagateXORs(litVar(l)); conf != confNone {
-			return conf
+		if len(s.xors) != 0 {
+			if conf := s.propagateXORs(l >> 1); conf != confNone {
+				return conf
+			}
 		}
 	}
 	return confNone
 }
 
 // propagateClauses visits clauses watching the now-false literal fl.
-func (s *Solver) propagateClauses(fl int) int {
+func (s *Solver) propagateClauses(fl uint32) uint32 {
 	ws := s.watches[fl]
 	kept := ws[:0]
 	for wi := 0; wi < len(ws); wi++ {
-		ci := ws[wi]
-		c := s.clauses[ci]
-		// Ensure c.lits[1] is the false watch.
-		if c.lits[0] == fl {
-			c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+		w := ws[wi]
+		// Blocking literal: a known-true blocker satisfies the clause
+		// without touching the arena.
+		if s.value(w.blocker) == lTrue {
+			kept = append(kept, w)
+			continue
 		}
-		if s.value(c.lits[0]) == lTrue {
-			kept = append(kept, ci)
+		lits := s.ca.lits(w.c)
+		// Ensure lits[1] is the false watch.
+		if lits[0] == fl {
+			lits[0], lits[1] = lits[1], lits[0]
+		}
+		first := lits[0]
+		if first != w.blocker && s.value(first) == lTrue {
+			kept = append(kept, watcher{c: w.c, blocker: first})
 			continue
 		}
 		// Search a replacement watch.
 		found := false
-		for k := 2; k < len(c.lits); k++ {
-			if s.value(c.lits[k]) != lFalse {
-				c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-				s.watches[c.lits[1]] = append(s.watches[c.lits[1]], ci)
+		for k := 2; k < len(lits); k++ {
+			if s.value(lits[k]) != lFalse {
+				lits[1], lits[k] = lits[k], lits[1]
+				s.watches[lits[1]] = append(s.watches[lits[1]], watcher{c: w.c, blocker: first})
 				found = true
 				break
 			}
@@ -354,125 +378,38 @@ func (s *Solver) propagateClauses(fl int) int {
 			continue // moved to another watch list
 		}
 		// Clause is unit or conflicting.
-		kept = append(kept, ci)
-		if s.value(c.lits[0]) == lFalse {
+		kept = append(kept, watcher{c: w.c, blocker: first})
+		if s.value(first) == lFalse {
 			// Conflict: keep remaining watches, restore list, report.
 			kept = append(kept, ws[wi+1:]...)
 			s.watches[fl] = kept
-			return ci
+			return w.c
 		}
-		s.enqueue(c.lits[0], ci)
+		s.enqueue(first, w.c)
 	}
 	s.watches[fl] = kept
 	return confNone
 }
 
-// propagateXORs visits XOR rows watching variable v, which just became
-// assigned.
-func (s *Solver) propagateXORs(v int) int {
-	ws := s.xorWatches[v]
-	kept := ws[:0]
-	for wi := 0; wi < len(ws); wi++ {
-		xi := ws[wi]
-		x := s.xors[xi]
-		// Normalise: w2 is the watch on v.
-		if x.vars[x.w1] == v {
-			x.w1, x.w2 = x.w2, x.w1
-		}
-		// Find a replacement unassigned variable (≠ w1 position).
-		found := false
-		for k := range x.vars {
-			if k == x.w1 || k == x.w2 {
-				continue
-			}
-			if s.assign[x.vars[k]] == lUndef {
-				x.w2 = k
-				s.xorWatches[x.vars[k]] = append(s.xorWatches[x.vars[k]], xi)
-				found = true
-				break
-			}
-		}
-		if found {
-			continue
-		}
-		kept = append(kept, xi)
-		// All variables other than possibly vars[w1] are assigned.
-		other := x.vars[x.w1]
-		parity := x.rhs
-		unassignedOther := s.assign[other] == lUndef
-		for _, u := range x.vars {
-			if u == other && unassignedOther {
-				continue
-			}
-			if s.assign[u] == lTrue {
-				parity = !parity
-			}
-		}
-		if unassignedOther {
-			// parity is the required value of `other`.
-			s.enqueue(mkLit(other, !parity), xorReasonBase+xi)
-		} else if parity {
-			// Parity violated: conflict.
-			kept = append(kept, ws[wi+1:]...)
-			s.xorWatches[v] = kept
-			return xorConfBase + xi
-		}
-	}
-	s.xorWatches[v] = kept
-	return confNone
-}
-
-const xorReasonBase = 1 << 29
-
 // reasonLits returns the clause form of the reason for variable v's
-// assignment: a clause in which every literal except the one asserting v is
+// assignment: a clause whose first literal asserts v and whose others are
 // false under the current assignment.
-func (s *Solver) reasonLits(v int) []int {
+func (s *Solver) reasonLits(v uint32) []uint32 {
 	r := s.reason[v]
-	if r == reasonNone {
-		return nil
+	if r&xorFlag != 0 && r != reasonNone {
+		return s.xorClause(&s.xors[r&^xorFlag], int64(v))
 	}
-	if r < xorReasonBase {
-		return s.clauses[r].lits
-	}
-	x := s.xors[r-xorReasonBase]
-	return s.xorClause(x, v)
+	return s.ca.lits(r)
 }
 
-// xorClause renders XOR row x as the clause that is unit on variable
-// asserted (or fully false if asserted < 0, for conflicts): the asserted
-// variable's satisfied literal plus the falsified literals of all others.
-func (s *Solver) xorClause(x *xorRow, asserted int) []int {
-	lits := make([]int, 0, len(x.vars))
-	for _, u := range x.vars {
-		if u == asserted {
-			lits = append(lits, mkLit(u, s.assign[u] == lFalse))
-		} else {
-			// Literal currently false.
-			lits = append(lits, mkLit(u, s.assign[u] == lTrue))
-		}
+func (s *Solver) conflictLits(conf uint32) []uint32 {
+	if conf&xorFlag != 0 {
+		return s.xorClause(&s.xors[conf&^xorFlag], -1)
 	}
-	// Place asserted literal first, as conflict analysis expects for
-	// reasons.
-	if asserted >= 0 {
-		for i, l := range lits {
-			if litVar(l) == asserted {
-				lits[0], lits[i] = lits[i], lits[0]
-				break
-			}
-		}
-	}
-	return lits
+	return s.ca.lits(conf)
 }
 
-func (s *Solver) conflictLits(conf int) []int {
-	if conf < xorConfBase {
-		return s.clauses[conf].lits
-	}
-	return s.xorClause(s.xors[conf-xorConfBase], -1)
-}
-
-func (s *Solver) bumpVar(v int) {
+func (s *Solver) bumpVar(v uint32) {
 	s.activity[v] += s.varInc
 	if s.activity[v] > 1e100 {
 		for i := range s.activity {
@@ -480,20 +417,22 @@ func (s *Solver) bumpVar(v int) {
 		}
 		s.varInc *= 1e-100
 	}
+	s.heapFix(v)
 }
 
 // analyze performs first-UIP conflict analysis. It returns the learned
-// clause (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(conf int) ([]int, int) {
-	learned := []int{0} // placeholder for the asserting literal
+// clause (asserting literal first, highest-level other literal second), the
+// backtrack level, and the clause's LBD.
+func (s *Solver) analyze(conf uint32) ([]uint32, int, uint32) {
+	learned := append(s.learnedBuf[:0], 0) // placeholder for asserting literal
 	counter := 0
 	idx := len(s.trail) - 1
-	var p int = -1
 	lits := s.conflictLits(conf)
+	skipFirst := false
 	for {
 		start := 0
-		if p >= 0 {
-			start = 1 // skip asserting literal of the reason
+		if skipFirst {
+			start = 1 // skip the asserting literal of the reason
 		}
 		for _, q := range lits[start:] {
 			v := litVar(q)
@@ -502,64 +441,166 @@ func (s *Solver) analyze(conf int) ([]int, int) {
 			}
 			s.seen[v] = true
 			s.bumpVar(v)
-			if s.level[v] >= s.decisionLevel() {
+			if int(s.level[v]) >= s.decisionLevel() {
 				counter++
 			} else {
 				learned = append(learned, q)
 			}
 		}
-		// Find next marked literal on the trail.
-		for !s.seen[litVar(s.trail[idx])] {
+		// Find the next marked literal on the trail.
+		for !s.seen[s.trail[idx]>>1] {
 			idx--
 		}
-		p = s.trail[idx]
-		v := litVar(p)
+		p := s.trail[idx]
+		v := p >> 1
 		s.seen[v] = false
 		counter--
 		idx--
+		skipFirst = true
 		if counter == 0 {
-			learned[0] = litNeg(p)
+			learned[0] = p ^ 1
 			break
 		}
 		lits = s.reasonLits(v)
 	}
-	// Compute backtrack level and clear marks.
+	// Compute backtrack level, moving the max-level literal to position 1
+	// (the second watch), and clear marks.
 	back := 0
 	for i := 1; i < len(learned); i++ {
-		if lvl := s.level[litVar(learned[i])]; lvl > back {
+		if lvl := int(s.level[learned[i]>>1]); lvl > back {
 			back = lvl
-			// Move the max-level literal to position 1 (second watch).
 			learned[1], learned[i] = learned[i], learned[1]
 		}
 	}
 	for _, q := range learned[1:] {
-		s.seen[litVar(q)] = false
+		s.seen[q>>1] = false
 	}
-	return learned, back
+	// LBD: distinct decision levels spanned by the clause.
+	s.lbdStamp++
+	lbd := uint32(0)
+	for _, q := range learned {
+		lvl := s.level[q>>1]
+		if s.levelStamp[lvl] != s.lbdStamp {
+			s.levelStamp[lvl] = s.lbdStamp
+			lbd++
+		}
+	}
+	s.learnedBuf = learned
+	return learned, back, lbd
 }
 
 // record installs a learned clause and asserts its first literal.
-func (s *Solver) record(learned []int) {
+func (s *Solver) record(learned []uint32, lbd uint32) {
+	s.stats.Learned++
 	if len(learned) == 1 {
 		s.enqueue(learned[0], reasonNone)
 		return
 	}
-	idx := len(s.clauses)
-	s.clauses = append(s.clauses, &clause{lits: learned, learned: true})
-	s.watches[learned[0]] = append(s.watches[learned[0]], idx)
-	s.watches[learned[1]] = append(s.watches[learned[1]], idx)
-	s.stats.Learned++
-	s.enqueue(learned[0], idx)
+	c := s.ca.alloc(learned, true, lbd)
+	s.learnts = append(s.learnts, c)
+	s.attach(c, learned[0], learned[1])
+	s.enqueue(learned[0], c)
 }
 
-func (s *Solver) pickBranchVar() int {
-	best, bestAct := -1, -1.0
-	for v := 0; v < s.nVars; v++ {
-		if s.assign[v] == lUndef && s.activity[v] > bestAct {
-			best, bestAct = v, s.activity[v]
+// reduceDB deletes the worst half of the learned clauses by (LBD, size),
+// keeping glue clauses (LBD ≤ 2), then compacts the arena. Must be called
+// at decision level 0, where no learned clause is locked as a reason.
+func (s *Solver) reduceDB() {
+	cand := s.reduceBuf[:0]
+	for _, c := range s.learnts {
+		if s.ca.lbd(c) > 2 {
+			cand = append(cand, c)
 		}
 	}
-	return best
+	s.reduceBuf = cand[:0]
+	// Worst first: highest LBD, then longest.
+	sort.Slice(cand, func(i, j int) bool {
+		li, lj := s.ca.lbd(cand[i]), s.ca.lbd(cand[j])
+		if li != lj {
+			return li > lj
+		}
+		return s.ca.size(cand[i]) > s.ca.size(cand[j])
+	})
+	for _, c := range cand[:len(cand)/2] {
+		s.ca.markDeleted(c)
+		s.stats.Deleted++
+	}
+	s.compact()
+	s.maxLearnts += s.maxLearnts / 10
+}
+
+// Simplify removes clauses satisfied at level 0 (notably retired blocking
+// clauses whose activation selector has been pinned) and compacts the
+// arena. Must be called at decision level 0; returns false if level-0
+// propagation derives unsatisfiability.
+func (s *Solver) Simplify() bool {
+	if s.unsat {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: Simplify above decision level 0")
+	}
+	if s.propagate() != confNone {
+		s.unsat = true
+		return false
+	}
+	s.compact()
+	return true
+}
+
+// compact rewrites the arena with only live clauses, dropping deleted
+// clauses and clauses satisfied at level 0, stripping level-0-false
+// literals, and rebuilding every watch list. Level-0 reasons are cleared
+// (conflict analysis never dereferences them).
+func (s *Solver) compact() {
+	old := s.ca.data
+	s.ca.data = make([]uint32, 0, len(old))
+	clauses, learnts := s.clauses[:0], s.learnts[:0]
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	oldArena := clauseArena{data: old}
+	copyList := func(list []cref, learned bool) {
+		for _, c := range list {
+			if oldArena.deleted(c) {
+				continue
+			}
+			lits := oldArena.lits(c)
+			keep := lits[:0]
+			satisfied := false
+			for _, l := range lits {
+				switch s.value(l) {
+				case lTrue:
+					satisfied = true
+				case lFalse:
+					continue
+				default:
+					keep = append(keep, l)
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			// Unsatisfied clauses retain ≥ 2 unassigned literals at level
+			// 0 (units were propagated, empty clauses flagged unsat).
+			nc := s.ca.alloc(keep, learned, oldArena.lbd(c))
+			s.attach(nc, keep[0], keep[1])
+			if learned {
+				learnts = append(learnts, nc)
+			} else {
+				clauses = append(clauses, nc)
+			}
+		}
+	}
+	copyList(s.clauses, false)
+	copyList(s.learnts, true)
+	s.clauses, s.learnts = clauses, learnts
+	for _, l := range s.trail {
+		s.reason[l>>1] = reasonNone
+	}
 }
 
 // luby returns the i-th element (1-based) of the Luby restart sequence.
@@ -574,92 +615,283 @@ func luby(i int64) int64 {
 	}
 }
 
-// Solve searches for a satisfying assignment, returning (model, true) on
-// SAT and (zero, false) on UNSAT. The solver backtracks to level 0 before
-// returning, so further clauses may be added afterwards (e.g. blocking
-// clauses for enumeration).
-func (s *Solver) Solve() (bitvec.BitVec, bool) {
-	if s.unsat {
-		return bitvec.BitVec{}, false
-	}
-	defer s.cancelUntil(0)
+// prologue runs level-0 propagation and encodes assumption literals,
+// returning false when the formula is unsatisfiable outright.
+func (s *Solver) prologue(assumps []formula.Lit) ([]uint32, bool) {
 	if conf := s.propagate(); conf != confNone {
 		s.unsat = true
-		return bitvec.BitVec{}, false
+		return nil, false
 	}
-	const restartBase = 100
-	restartNum := int64(1)
-	budget := restartBase * luby(restartNum)
-	var conflicts int64
+	as := s.assumpBuf[:0]
+	for _, l := range assumps {
+		if l.Var < 0 || l.Var >= s.nVars {
+			panic("sat: assumption variable out of range")
+		}
+		as = append(as, mkLit(l.Var, l.Neg))
+	}
+	s.assumpBuf = as[:0]
+	return as, true
+}
+
+// restartSched carries the Luby restart schedule across a solve session,
+// including continuation searches during enumeration.
+type restartSched struct {
+	num       int64
+	budget    int64
+	conflicts int64
+}
+
+const restartBase = 100
+
+func newRestartSched() restartSched {
+	return restartSched{num: 1, budget: restartBase * luby(1)}
+}
+
+// search runs the CDCL loop until a satisfying assignment is reached (true;
+// the trail is left intact so the caller can read the model or continue
+// enumerating) or the formula is unsatisfiable under the assumptions
+// (false; s.unsat is additionally set when unsatisfiability is established
+// at level 0, independent of the assumptions).
+func (s *Solver) search(as []uint32, rs *restartSched) bool {
 	for {
 		conf := s.propagate()
 		if conf != confNone {
 			s.stats.Conflicts++
-			conflicts++
+			rs.conflicts++
 			if s.decisionLevel() == 0 {
 				s.unsat = true
-				return bitvec.BitVec{}, false
+				return false
 			}
-			learned, back := s.analyze(conf)
+			learned, back, lbd := s.analyze(conf)
 			s.cancelUntil(back)
-			s.record(learned)
+			s.record(learned, lbd)
 			s.varInc /= 0.95
 			continue
 		}
-		if conflicts >= budget {
-			// Restart.
+		if rs.conflicts >= rs.budget {
+			// Restart; reduce the learned database when over budget
+			// (level 0 is the safe point: no locked reasons).
 			s.stats.Restarts++
-			restartNum++
-			conflicts = 0
-			budget = restartBase * luby(restartNum)
+			rs.num++
+			rs.conflicts = 0
+			rs.budget = restartBase * luby(rs.num)
 			s.cancelUntil(0)
+			if len(s.learnts) >= s.maxLearnts {
+				s.reduceDB()
+			}
 			continue
 		}
-		v := s.pickBranchVar()
-		if v < 0 {
-			// All variables assigned: SAT.
-			model := bitvec.New(s.nVars)
-			for i := 0; i < s.nVars; i++ {
-				if s.assign[i] == lTrue {
-					model.Set(i, true)
+		// Establish pending assumptions as decisions.
+		decision := reasonNone
+		for decision == reasonNone && s.decisionLevel() < len(as) {
+			p := as[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.newDecisionLevel() // dummy level keeps indices aligned
+			case lFalse:
+				// Conflicting assumptions: UNSAT under assumptions, but
+				// the formula itself is untouched.
+				return false
+			default:
+				decision = p
+			}
+		}
+		if decision == reasonNone {
+			v := -1
+			for {
+				v = s.heapPop()
+				if v < 0 || s.varValue(uint32(v)) == lUndef {
+					break
 				}
 			}
-			return model, true
+			if v < 0 {
+				return true // all variables assigned: SAT
+			}
+			s.stats.Decisions++
+			decision = mkLit(v, !s.phase[v])
 		}
-		s.stats.Decisions++
-		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(mkLit(v, !s.phase[v]), reasonNone)
+		s.newDecisionLevel()
+		s.enqueue(decision, reasonNone)
 	}
 }
 
-// BlockModel adds the clause forbidding the given full assignment, enabling
-// AllSAT-style enumeration. Returns false if the formula becomes
-// unsatisfiable.
+// model snapshots the current assignment of variables [0, n).
+func (s *Solver) model(n int) bitvec.BitVec {
+	m := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if s.assign[i<<1] == lTrue {
+			m.Set(i, true)
+		}
+	}
+	return m
+}
+
+// Solve searches for a satisfying assignment under the given assumption
+// literals, returning (model, true) on SAT and (zero, false) when the
+// formula is unsatisfiable under the assumptions. The model covers all
+// NVars() variables. The solver backtracks to level 0 before returning —
+// assumptions are fully undone — so clauses, XOR rows, and variables may be
+// added between calls (e.g. blocking clauses for enumeration).
+func (s *Solver) Solve(assumps ...formula.Lit) (bitvec.BitVec, bool) {
+	if s.unsat {
+		return bitvec.BitVec{}, false
+	}
+	defer s.cancelUntil(0)
+	as, ok := s.prologue(assumps)
+	if !ok {
+		return bitvec.BitVec{}, false
+	}
+	rs := newRestartSched()
+	if !s.search(as, &rs) {
+		return bitvec.BitVec{}, false
+	}
+	return s.model(s.nVars), true
+}
+
+// blockCurrent installs a clause forbidding the current assignment of
+// variables [0, nBlock), with the extra literals appended, and backjumps
+// just far enough to unassign the clause — the continuation step of
+// AllSAT-style enumeration, avoiding a full re-descent per model. All
+// clause literals must be false under the current assignment (extra
+// literals are typically assumed-false selectors). Returns false when the
+// blocked assignment was forced at level 0, i.e. it was the last model.
+func (s *Solver) blockCurrent(nBlock int, extra []uint32) bool {
+	lits := append(s.blockBuf[:0], extra...)
+	for v := 0; v < nBlock; v++ {
+		lits = append(lits, mkLit(v, s.varValue(uint32(v)) == lTrue))
+	}
+	s.blockBuf = lits[:0]
+	if len(lits) == 0 {
+		s.unsat = true // blocking the empty assignment: no models remain
+		return false
+	}
+	maxLvl := 0
+	for _, l := range lits {
+		if lv := int(s.level[l>>1]); lv > maxLvl {
+			maxLvl = lv
+		}
+	}
+	if maxLvl == 0 {
+		s.unsat = true
+		return false
+	}
+	if len(lits) == 1 {
+		// Unit block: the single variable must flip, permanently.
+		s.cancelUntil(0)
+		s.enqueue(lits[0], reasonNone)
+		return true
+	}
+	// Watch selection. With an extra selector literal, watch it first: its
+	// entry is dormant while the selector is assumed false, and once the
+	// query retires the selector (pinned true) every visit through the
+	// other watch short-circuits on the now-true blocker. The second watch
+	// is the deepest blocked literal, freed by the backjump, so the clause
+	// re-triggers correctly on re-descent. Without extras, watch the two
+	// deepest literals.
+	if ne := len(extra); ne > 0 && ne < len(lits) {
+		deep := ne
+		for i := ne + 1; i < len(lits); i++ {
+			if s.level[lits[i]>>1] > s.level[lits[deep]>>1] {
+				deep = i
+			}
+		}
+		lits[1], lits[deep] = lits[deep], lits[1]
+	} else {
+		for i := 1; i < len(lits); i++ {
+			if s.level[lits[i]>>1] > s.level[lits[0]>>1] {
+				lits[0], lits[i] = lits[i], lits[0]
+			}
+		}
+		for i := 2; i < len(lits); i++ {
+			if s.level[lits[i]>>1] > s.level[lits[1]>>1] {
+				lits[1], lits[i] = lits[i], lits[1]
+			}
+		}
+	}
+	c := s.ca.alloc(lits, false, 0)
+	s.clauses = append(s.clauses, c)
+	s.attach(c, lits[0], lits[1])
+	s.cancelUntil(maxLvl - 1)
+	return true
+}
+
+// BlockModel adds the clause forbidding the given assignment (over the
+// model's variables), enabling AllSAT-style enumeration. Returns false if
+// the formula becomes unsatisfiable.
 func (s *Solver) BlockModel(model bitvec.BitVec) bool {
-	lits := make([]formula.Lit, s.nVars)
-	for v := 0; v < s.nVars; v++ {
+	n := model.Len()
+	if n > s.nVars {
+		n = s.nVars
+	}
+	lits := make([]formula.Lit, n)
+	for v := 0; v < n; v++ {
 		lits[v] = formula.Lit{Var: v, Neg: model.Get(v)}
 	}
 	return s.AddClause(lits)
 }
 
-// EnumerateModels visits up to limit models (limit < 0 for all), blocking
-// each before searching for the next. visit returning false stops early.
-// It returns the number of models visited.
-func (s *Solver) EnumerateModels(limit int, visit func(bitvec.BitVec) bool) int {
+// EnumerateBlocking visits up to limit models (limit < 0 for all)
+// consistent with the assumptions. Each visited model is blocked over
+// variables [0, nBlock) by a clause that additionally contains the extra
+// literals, which must be false under the assumptions (activation
+// selectors): assuming them false in a later call re-engages the blocks,
+// pinning them true retires the blocks. Enumeration proceeds by
+// continuation — after each model the solver backjumps only far enough to
+// unassign the blocking clause instead of restarting the search — so the
+// per-model cost is local. visit returning false stops early.
+//
+// It returns the number of models visited and whether the search space was
+// exhausted (as opposed to stopping at limit or at visit's request): an
+// exhausted enumeration is the analogue of the final UNSAT answer of a
+// solve-block-resolve loop, which oracle metering counts as one more query.
+func (s *Solver) EnumerateBlocking(limit, nBlock int, extra []formula.Lit, visit func(bitvec.BitVec) bool, assumps ...formula.Lit) (int, bool) {
+	if s.unsat {
+		return 0, true
+	}
+	if limit == 0 {
+		return 0, false
+	}
+	if nBlock < 0 || nBlock > s.nVars {
+		panic("sat: blocking variable range out of bounds")
+	}
+	defer s.cancelUntil(0)
+	as, ok := s.prologue(assumps)
+	if !ok {
+		return 0, true
+	}
+	ex := make([]uint32, len(extra))
+	for i, l := range extra {
+		if l.Var < 0 || l.Var >= s.nVars {
+			panic("sat: extra literal variable out of range")
+		}
+		ex[i] = mkLit(l.Var, l.Neg)
+	}
+	rs := newRestartSched()
 	count := 0
 	for limit < 0 || count < limit {
-		model, ok := s.Solve()
-		if !ok {
-			break
+		if !s.search(as, &rs) {
+			return count, true
 		}
 		count++
-		if !visit(model) {
-			break
+		if !visit(s.model(nBlock)) {
+			return count, false
 		}
-		if !s.BlockModel(model) {
-			break
+		if limit >= 0 && count >= limit {
+			return count, false
+		}
+		if !s.blockCurrent(nBlock, ex) {
+			return count, true
 		}
 	}
+	return count, false
+}
+
+// EnumerateModels visits up to limit models (limit < 0 for all) consistent
+// with the assumptions, blocking each before searching for the next. visit
+// returning false stops early. It returns the number of models visited.
+// Blocking clauses are permanent: they also exclude the visited models from
+// later Solve calls.
+func (s *Solver) EnumerateModels(limit int, visit func(bitvec.BitVec) bool, assumps ...formula.Lit) int {
+	count, _ := s.EnumerateBlocking(limit, s.nVars, nil, visit, assumps...)
 	return count
 }

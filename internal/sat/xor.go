@@ -1,0 +1,219 @@
+package sat
+
+import (
+	"math/bits"
+)
+
+// Native XOR (GF(2)) constraint support. Hash-cell queries of the model
+// counters conjoin φ with rows of a linear system h_m(x) = 0^m; expanding a
+// width-w row into CNF costs 2^(w−1) clauses, so rows are instead
+// propagated directly with a two-watch scheme over their variables, and
+// conflict analysis renders a row as its implied clause on demand.
+
+// xorRow is one parity constraint vars[0] ⊕ … ⊕ vars[len−1] = rhs, with
+// vars[w1], vars[w2] the two watched positions.
+type xorRow struct {
+	vars []uint32
+	rhs  bool
+	w1   int32
+	w2   int32
+}
+
+// AddXOR adds the GF(2) constraint vars[0] ⊕ vars[1] ⊕ … = rhs. Duplicate
+// variables cancel. Returns false if the formula becomes unsatisfiable.
+// Must be called at decision level 0.
+//
+// Rows whose support lies entirely within the variables present at New are
+// reduced against an echelon basis of all such rows first: a linearly
+// dependent row is either redundant or an immediate contradiction (plain
+// clause learning needs exponential resolution proofs on dense XOR systems
+// — the observation behind Gaussian-elimination solvers like
+// CryptoMiniSat/BIRD), and reduction gives each watched row a unique pivot,
+// keeping propagation chains short. Rows touching variables added later by
+// AddVar (activation selectors in the incremental protocol) are always
+// linearly independent by construction and skip the basis.
+func (s *Solver) AddXOR(vars []int, rhs bool) bool {
+	if s.unsat {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddXOR above decision level 0")
+	}
+	// Fold duplicate variables: parity-toggle a per-variable mark.
+	touched := s.xorVarBuf[:0]
+	inBase := true
+	for _, v := range vars {
+		if v < 0 || v >= s.nVars {
+			panic("sat: XOR variable out of range")
+		}
+		if v >= s.baseVars {
+			inBase = false
+		}
+		s.seen[v] = !s.seen[v]
+		touched = append(touched, uint32(v))
+	}
+	odd := touched[:0]
+	for _, v := range touched {
+		if s.seen[v] {
+			s.seen[v] = false
+			odd = append(odd, v)
+		}
+	}
+	s.xorVarBuf = touched[:0]
+
+	if inBase {
+		return s.addXORReduced(odd, rhs)
+	}
+	return s.installXOR(odd, rhs)
+}
+
+// addXORReduced reduces a base-variable row against the echelon basis and
+// installs the residual.
+func (s *Solver) addXORReduced(odd []uint32, rhs bool) bool {
+	vec := s.xorVecBuf
+	vw := vec.Words()
+	for i := range vw {
+		vw[i] = 0
+	}
+	for _, v := range odd {
+		vec.Set(int(v), true)
+	}
+	rrhs := s.xorSys.ResidualInto(vec, rhs, s.xorResBuf)
+	if s.xorResBuf.IsZero() {
+		if rrhs {
+			s.unsat = true
+			return false
+		}
+		return true // implied by earlier rows
+	}
+	s.xorSys.AddPrereduced(s.xorResBuf, rrhs)
+	support := s.xorVarBuf[:0]
+	for wi, w := range s.xorResBuf.Words() {
+		for w != 0 {
+			support = append(support, uint32(wi*64+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	ok := s.installXOR(support, rrhs)
+	s.xorVarBuf = support[:0]
+	return ok
+}
+
+// installXOR folds level-0 assignments into the row, then enqueues a unit
+// or installs a two-watched row.
+func (s *Solver) installXOR(support []uint32, rhs bool) bool {
+	vs := make([]uint32, 0, len(support))
+	for _, v := range support {
+		switch s.varValue(v) {
+		case lTrue:
+			rhs = !rhs
+		case lFalse:
+		default:
+			vs = append(vs, v)
+		}
+	}
+	switch len(vs) {
+	case 0:
+		if rhs {
+			s.unsat = true
+			return false
+		}
+		return true
+	case 1:
+		s.enqueue(mkLit(int(vs[0]), !rhs), reasonNone)
+		if s.propagate() != confNone {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	xi := uint32(len(s.xors))
+	s.xors = append(s.xors, xorRow{vars: vs, rhs: rhs, w1: 0, w2: 1})
+	s.xorWatches[vs[0]] = append(s.xorWatches[vs[0]], xi)
+	s.xorWatches[vs[1]] = append(s.xorWatches[vs[1]], xi)
+	return true
+}
+
+// propagateXORs visits XOR rows watching variable v, which just became
+// assigned. Returns a conflict descriptor or confNone.
+func (s *Solver) propagateXORs(v uint32) uint32 {
+	ws := s.xorWatches[v]
+	kept := ws[:0]
+	for wi := 0; wi < len(ws); wi++ {
+		xi := ws[wi]
+		x := &s.xors[xi]
+		// Normalise: w2 is the watch on v.
+		if x.vars[x.w1] == v {
+			x.w1, x.w2 = x.w2, x.w1
+		}
+		// Find a replacement unassigned variable (≠ w1 position).
+		found := false
+		for k := range x.vars {
+			if int32(k) == x.w1 || int32(k) == x.w2 {
+				continue
+			}
+			if s.varValue(x.vars[k]) == lUndef {
+				x.w2 = int32(k)
+				s.xorWatches[x.vars[k]] = append(s.xorWatches[x.vars[k]], xi)
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		kept = append(kept, xi)
+		// All variables other than possibly vars[w1] are assigned.
+		other := x.vars[x.w1]
+		parity := x.rhs
+		unassignedOther := s.varValue(other) == lUndef
+		for _, u := range x.vars {
+			if u == other && unassignedOther {
+				continue
+			}
+			if s.varValue(u) == lTrue {
+				parity = !parity
+			}
+		}
+		if unassignedOther {
+			// parity is the required value of `other`.
+			s.enqueue(mkLit(int(other), !parity), xorFlag|xi)
+		} else if parity {
+			// Parity violated: conflict.
+			kept = append(kept, ws[wi+1:]...)
+			s.xorWatches[v] = kept
+			return xorFlag | xi
+		}
+	}
+	s.xorWatches[v] = kept
+	return confNone
+}
+
+// xorClause renders XOR row x as the clause implied under the current
+// assignment: the asserted variable's satisfied literal (when asserted ≥ 0)
+// plus the falsified literals of all other variables; a fully false clause
+// when asserted < 0 (conflicts). The returned slice is the solver's shared
+// scratch buffer, valid until the next call.
+func (s *Solver) xorClause(x *xorRow, asserted int64) []uint32 {
+	lits := s.xorClauseBuf[:0]
+	for _, u := range x.vars {
+		if int64(u) == asserted {
+			lits = append(lits, mkLit(int(u), s.varValue(u) == lFalse))
+		} else {
+			// Literal currently false.
+			lits = append(lits, mkLit(int(u), s.varValue(u) == lTrue))
+		}
+	}
+	// Place the asserted literal first, as conflict analysis expects for
+	// reasons.
+	if asserted >= 0 {
+		for i, l := range lits {
+			if int64(litVar(l)) == asserted {
+				lits[0], lits[i] = lits[i], lits[0]
+				break
+			}
+		}
+	}
+	s.xorClauseBuf = lits
+	return lits
+}

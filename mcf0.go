@@ -105,6 +105,37 @@ type CountResult struct {
 	// OracleQueries counts NP-oracle (SAT) calls, the paper's complexity
 	// currency; zero for the polynomial-time DNF paths.
 	OracleQueries int64
+	// Solver aggregates the CDCL solver's work across every SAT-oracle
+	// call (all trial forks and internal rebuilds included); zero for
+	// pure-DNF paths. For AlgorithmEstimation over CNF it covers the
+	// RoughCount preamble, the only stage that consults the SAT solver.
+	// It explains where SAT-backed runs spend their time: cmd/approxmc -v
+	// prints it.
+	Solver SolverStats
+}
+
+// SolverStats mirrors the CDCL solver's work counters.
+type SolverStats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Learned      int64
+	// Deleted counts learned clauses removed by database reduction.
+	Deleted  int64
+	Restarts int64
+}
+
+// solverStats snapshots a CNF source's aggregated solver counters.
+func solverStats(src *oracle.CNFSource) SolverStats {
+	st := src.SolverStats()
+	return SolverStats{
+		Decisions:    st.Decisions,
+		Propagations: st.Propagations,
+		Conflicts:    st.Conflicts,
+		Learned:      st.Learned,
+		Deleted:      st.Deleted,
+		Restarts:     st.Restarts,
+	}
 }
 
 // CountCNF approximately counts the models of a DIMACS CNF formula.
@@ -138,10 +169,10 @@ func countCNF(c *formula.CNF, alg Algorithm, cfg Config) (CountResult, error) {
 	switch alg {
 	case AlgorithmBucketing, "":
 		res := counting.ApproxMC(src, opts)
-		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries}, nil
+		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries, Solver: solverStats(src)}, nil
 	case AlgorithmMinimum:
 		res := counting.ApproxModelCountMinOracle(src, opts)
-		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries}, nil
+		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries, Solver: solverStats(src)}, nil
 	case AlgorithmEstimation:
 		if c.N > 24 {
 			return CountResult{}, fmt.Errorf("mcf0: estimation algorithm limited to 24 variables (enumeration oracle)")
@@ -152,7 +183,7 @@ func countCNF(c *formula.CNF, alg Algorithm, cfg Config) (CountResult, error) {
 			return CountResult{Estimate: 0}, nil
 		}
 		res := counting.ApproxModelCountEst(tz, c.N, rParam, opts)
-		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries}, nil
+		return CountResult{Estimate: res.Estimate, OracleQueries: res.OracleQueries, Solver: solverStats(src)}, nil
 	default:
 		return CountResult{}, fmt.Errorf("mcf0: algorithm %q not applicable to CNF", alg)
 	}

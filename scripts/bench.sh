@@ -1,20 +1,20 @@
 #!/usr/bin/env bash
-# Runs the hot-path benchmarks with -benchmem and regenerates BENCH_1.json,
+# Runs the hot-path benchmarks with -benchmem and regenerates BENCH_2.json,
 # pairing the results with the checked-in pre-change baseline
-# (bench/baseline_*.txt, captured at the seed before the word-parallel
-# rewrite). Usage: scripts/bench.sh [output.json]
+# (bench/baseline2_*.txt, captured at the PR-1 tree before the CDCL solver
+# overhaul). Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_1.json}
+OUT=${1:-BENCH_2.json}
 HOT='BenchmarkA1HashFamily|BenchmarkE4F0Sketches|BenchmarkGF2$|BenchmarkE1ApproxMC|BenchmarkE2FindMin'
 
 mkdir -p bench
 go test . -run '^$' -bench "$HOT" -benchmem -benchtime 300ms | tee bench/current_hot.txt
-go test ./internal/bitvec -run '^$' -bench . -benchmem -benchtime 200ms | tee bench/current_bitvec.txt
+go test ./internal/sat -run '^$' -bench . -benchmem -benchtime 300ms | tee bench/current_sat.txt
 
 go run ./scripts/benchjson -out "$OUT" \
-  -baseline bench/baseline_hot.txt -baseline bench/baseline_bitvec.txt \
-  -current bench/current_hot.txt -current bench/current_bitvec.txt
+  -baseline bench/baseline2_hot.txt -baseline bench/baseline2_sat.txt \
+  -current bench/current_hot.txt -current bench/current_sat.txt
 
 echo "wrote $OUT"

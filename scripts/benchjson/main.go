@@ -160,7 +160,7 @@ func main() {
 		Note       string            `json:"note"`
 		Benchmarks map[string]*Entry `json:"benchmarks"`
 	}{
-		Note:       "ns/op, B/op, allocs/op from `go test -bench -benchmem`; baseline = pre-change seed, current = this PR. Regenerate with scripts/bench.sh.",
+		Note:       "ns/op, B/op, allocs/op from `go test -bench -benchmem`; baseline = pre-change tree, current = this PR. Regenerate with scripts/bench.sh.",
 		Benchmarks: ordered,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
