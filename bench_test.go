@@ -135,6 +135,74 @@ func BenchmarkE4F0Sketches(b *testing.B) {
 	})
 }
 
+// BenchmarkE4SketchBatch times the sharded batch-ingestion path: one
+// 256-element ProcessBatch per op, with the per-copy work fanned across
+// the worker pool (par=max) vs forced serial (par=1). The copy counts are
+// paper-scale (t = 32) so there is enough independent work to shard; on a
+// single-core machine the two variants collapse to the same figure.
+func BenchmarkE4SketchBatch(b *testing.B) {
+	n := 32
+	rng := stats.NewRNG(25)
+	elems := make([]bitvec.BitVec, 4096)
+	for i := range elems {
+		elems[i] = bitvec.Random(n, rng.Uint64)
+	}
+	const chunk = 256
+	for _, tc := range []struct {
+		name string
+		par  int
+	}{{"par=1", 1}, {"par=max", 0}} {
+		mkOpts := func(thresh, iters int) streaming.Options {
+			return streaming.Options{Epsilon: 0.8, Delta: 0.2, Thresh: thresh, Iterations: iters,
+				RNG: stats.NewRNG(9), Parallelism: tc.par}
+		}
+		b.Run("minimum/"+tc.name, func(b *testing.B) {
+			e := streaming.NewMinimum(n, mkOpts(64, 32))
+			for i := 0; i < b.N; i++ {
+				lo := (i * chunk) % len(elems)
+				e.ProcessBatch(elems[lo : lo+chunk])
+			}
+		})
+		b.Run("bucketing/"+tc.name, func(b *testing.B) {
+			e := streaming.NewBucketing(n, mkOpts(64, 32))
+			for i := 0; i < b.N; i++ {
+				lo := (i * chunk) % len(elems)
+				e.ProcessBatch(elems[lo : lo+chunk])
+			}
+		})
+		b.Run("estimation/"+tc.name, func(b *testing.B) {
+			e := streaming.NewEstimation(n, mkOpts(24, 16))
+			for i := 0; i < b.N; i++ {
+				lo := (i * chunk) % len(elems)
+				e.ProcessBatch(elems[lo : lo+chunk])
+			}
+		})
+	}
+}
+
+// BenchmarkE6DNFStreamBatch times batched set-stream ingestion: one
+// 8-item ProcessDNFBatch per op, per-copy FindMin fanned across the pool.
+func BenchmarkE6DNFStreamBatch(b *testing.B) {
+	n := 16
+	rng := stats.NewRNG(26)
+	items := make([]*formula.DNF, 4)
+	for i := range items {
+		items[i] = formula.RandomDNF(n, 1, 8, rng)
+	}
+	for _, tc := range []struct {
+		name string
+		par  int
+	}{{"par=1", 1}, {"par=max", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			ds := setstream.NewDNFStream(n, setstream.Options{Epsilon: 0.8, Delta: 0.2,
+				Thresh: 24, Iterations: 16, RNG: stats.NewRNG(13), Parallelism: tc.par})
+			for i := 0; i < b.N; i++ {
+				ds.ProcessDNFBatch(items)
+			}
+		})
+	}
+}
+
 // BenchmarkE5Distributed times the three Section 4 protocols and reports
 // communication bits per operation.
 func BenchmarkE5Distributed(b *testing.B) {

@@ -30,6 +30,9 @@ type runConfig struct {
 	quick  bool
 	seed   uint64
 	trials int
+	// par bounds the sketch-copy / median-trial worker pools
+	// (0 = GOMAXPROCS); estimates are identical at every level.
+	par int
 }
 
 var registry []experiment
@@ -44,6 +47,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "smaller workloads for a fast pass")
 		seed    = flag.Uint64("seed", 1, "base random seed")
 		trials  = flag.Int("trials", 0, "override accuracy-trial count (0 = default)")
+		par     = flag.Int("par", 0, "worker-pool bound for sketch copies and trials (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -58,7 +62,7 @@ func main() {
 	}
 
 	sort.Slice(registry, func(i, j int) bool { return registry[i].id < registry[j].id })
-	cfg := runConfig{quick: *quick, seed: *seed, trials: *trials}
+	cfg := runConfig{quick: *quick, seed: *seed, trials: *trials, par: *par}
 	ran := 0
 	for _, e := range registry {
 		if re != nil && !re.MatchString(e.id) {

@@ -17,9 +17,10 @@ func init() {
 	register("E05-distributed", "§4: distributed DNF counting — accuracy and communication bits", runE5)
 }
 
-func streamOpts(seed uint64, quick bool) streaming.Options {
-	o := streaming.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 32, Iterations: 11, RNG: stats.NewRNG(seed)}
-	if quick {
+func streamOpts(seed uint64, c runConfig) streaming.Options {
+	o := streaming.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 32, Iterations: 11,
+		RNG: stats.NewRNG(seed), Parallelism: c.par}
+	if c.quick {
 		o.Thresh = 16
 		o.Iterations = 5
 	}
@@ -82,8 +83,8 @@ func runE4(c runConfig) {
 		build func(seed uint64) streaming.Estimator
 	}
 	mks := []mk{
-		{"bucketing", func(s uint64) streaming.Estimator { return streaming.NewBucketing(n, streamOpts(s, c.quick)) }},
-		{"minimum", func(s uint64) streaming.Estimator { return streaming.NewMinimum(n, streamOpts(s, c.quick)) }},
+		{"bucketing", func(s uint64) streaming.Estimator { return streaming.NewBucketing(n, streamOpts(s, c)) }},
+		{"minimum", func(s uint64) streaming.Estimator { return streaming.NewMinimum(n, streamOpts(s, c)) }},
 	}
 	for _, workload := range []string{"uniform", "zipf"} {
 		for _, f0 := range f0s {
@@ -99,9 +100,10 @@ func runE4(c runConfig) {
 						stream = zipfStream(n, f0, 2*f0, rng)
 					}
 					e := m.build(seed)
+					// Chunked ingestion: one pool dispatch per 256 elements.
 					dur := timeIt(func() {
-						for _, x := range stream {
-							e.Process(x)
+						for lo := 0; lo < len(stream); lo += 256 {
+							e.ProcessBatch(stream[lo:min(lo+256, len(stream))])
 						}
 					})
 					perItem = dur / time.Duration(len(stream))
@@ -118,7 +120,7 @@ func runE4(c runConfig) {
 	re, rate := accuracy(float64(estF0), 0.8, trials, func(seed uint64) float64 {
 		rng := stats.NewRNG(seed)
 		stream := uniformStream(24, estF0, estF0, rng)
-		o := streamOpts(seed, c.quick)
+		o := streamOpts(seed, c)
 		o.Iterations = 7
 		e := streaming.NewEstimation(24, o)
 		for _, x := range stream {
@@ -151,7 +153,7 @@ func runE5(c runConfig) {
 		for _, proto := range []string{"bucketing", "minimum"} {
 			var comm distributed.Comm
 			re, rate := accuracy(truth, 0.8, trials, func(seed uint64) float64 {
-				o := distOpts(seed, c.quick)
+				o := distOpts(seed, c)
 				var res distributed.Result
 				if proto == "bucketing" {
 					res = distributed.Bucketing(parts, o)
@@ -166,7 +168,7 @@ func runE5(c runConfig) {
 		// Estimation protocol (exhaustive tester; n = 16 is fine).
 		var comm distributed.Comm
 		re, rate := accuracy(truth, 0.8, trials, func(seed uint64) float64 {
-			o := distOpts(seed, c.quick)
+			o := distOpts(seed, c)
 			o.Iterations = 5
 			r, extra := distributed.RoughR(parts, 5, o)
 			res := distributed.Estimation(parts, r, o)
@@ -182,9 +184,10 @@ func runE5(c runConfig) {
 	fmt.Println("  lower bound Ω(k/ε²) — all protocols must grow linearly in k (visible above)")
 }
 
-func distOpts(seed uint64, quick bool) distributed.Options {
-	o := distributed.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 32, Iterations: 11, RNG: stats.NewRNG(seed)}
-	if quick {
+func distOpts(seed uint64, c runConfig) distributed.Options {
+	o := distributed.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 32, Iterations: 11,
+		RNG: stats.NewRNG(seed), Parallelism: c.par}
+	if c.quick {
 		o.Thresh = 16
 		o.Iterations = 5
 	}

@@ -13,7 +13,12 @@
 //	-dims int       dimensions for range streams (default 1)
 //	-nvars int      variables for DNF streams (default = -bits)
 //	-alg string     element-stream sketch: bucketing|minimum|estimation
+//	-par int        sketch-copy worker pool (0 = GOMAXPROCS, 1 = serial)
 //	-eps, -delta, -thresh, -iters, -seed   as in approxmc
+//
+// Items are ingested in chunks of 256 so the sketch copies fan out across
+// the worker pool once per chunk rather than once per item; estimates are
+// identical to item-at-a-time processing at any -par level.
 package main
 
 import (
@@ -39,12 +44,14 @@ func main() {
 		th    = flag.Int("thresh", 0, "override Thresh")
 		it    = flag.Int("iters", 0, "override iterations")
 		seed  = flag.Uint64("seed", 1, "random seed")
+		par   = flag.Int("par", 0, "sketch-copy worker pool (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	if *nvars == 0 {
 		*nvars = *bits
 	}
-	cfg := mcf0.Config{Epsilon: *eps, Delta: *delta, Thresh: *th, Iterations: *it, Seed: *seed}
+	cfg := mcf0.Config{Epsilon: *eps, Delta: *delta, Thresh: *th, Iterations: *it, Seed: *seed,
+		Parallelism: *par}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -64,6 +71,41 @@ func main() {
 		items       int
 	)
 
+	// Chunked ingestion: items accumulate per destination and flush to the
+	// batch APIs every batchSize items (and at EOF), so the per-copy worker
+	// pool dispatches once per chunk instead of once per item. The sketches
+	// are order-insensitive, so estimates match item-at-a-time processing.
+	const batchSize = 256
+	var (
+		elemBuf    []uint64   // 'e' lines bound for elemSketch
+		dnfElemBuf []uint64   // 'e' lines bound for dnfSketch
+		rangeLos   [][]uint64 // 'r' lines
+		rangeHis   [][]uint64
+		dnfBuf     [][][]int // 'd' lines
+	)
+	flush := func() {
+		if len(elemBuf) > 0 {
+			elemSketch.AddBatch(elemBuf)
+			elemBuf = elemBuf[:0]
+		}
+		if len(dnfElemBuf) > 0 {
+			dnfSketch.AddElementBatch(dnfElemBuf)
+			dnfElemBuf = dnfElemBuf[:0]
+		}
+		if len(rangeLos) > 0 {
+			if err := rangeSketch.AddRangeBatch(rangeLos, rangeHis); err != nil {
+				fatal(err)
+			}
+			rangeLos, rangeHis = rangeLos[:0], rangeHis[:0]
+		}
+		if len(dnfBuf) > 0 {
+			if err := dnfSketch.AddDNFBatch(dnfBuf); err != nil {
+				fatal(err)
+			}
+			dnfBuf = dnfBuf[:0]
+		}
+	}
+
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	for sc.Scan() {
@@ -77,8 +119,10 @@ func main() {
 		switch kind {
 		case "e":
 			if dnfSketch != nil {
-				v := parseU(args[0])
-				dnfSketch.AddElement(v)
+				dnfElemBuf = append(dnfElemBuf, parseU(args[0]))
+				if len(dnfElemBuf) >= batchSize {
+					flush()
+				}
 				continue
 			}
 			if elemSketch == nil {
@@ -88,7 +132,10 @@ func main() {
 					fatal(err)
 				}
 			}
-			elemSketch.Add(parseU(args[0]))
+			elemBuf = append(elemBuf, parseU(args[0]))
+			if len(elemBuf) >= batchSize {
+				flush()
+			}
 		case "r":
 			if rangeSketch == nil {
 				widths := make([]int, *dims)
@@ -109,8 +156,9 @@ func main() {
 			for i := 0; i < *dims; i++ {
 				lo[i], hi[i] = parseU(args[2*i]), parseU(args[2*i+1])
 			}
-			if err := rangeSketch.AddRange(lo, hi); err != nil {
-				fatal(err)
+			rangeLos, rangeHis = append(rangeLos, lo), append(rangeHis, hi)
+			if len(rangeLos) >= batchSize {
+				flush()
 			}
 		case "p":
 			if progSketch == nil {
@@ -139,8 +187,9 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := dnfSketch.AddDNF(terms); err != nil {
-				fatal(err)
+			dnfBuf = append(dnfBuf, terms)
+			if len(dnfBuf) >= batchSize {
+				flush()
 			}
 		default:
 			fatal(fmt.Errorf("unknown item kind %q", kind))
@@ -149,6 +198,7 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
+	flush()
 
 	var est float64
 	switch {

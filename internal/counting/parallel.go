@@ -5,9 +5,13 @@ import (
 	"mcf0/internal/par"
 )
 
-// This file adapts the internal/par worker pool to the oracle backends.
-// The median-trial loops of Algorithms 5–7 (and the Karp–Luby baseline)
-// are embarrassingly parallel once two sequential dependencies are removed:
+// This file adapts the internal/par worker pools to the oracle backends.
+// Trials use the dynamic pool (par.Run): per-trial cost is dominated by
+// SAT-oracle calls whose cost varies by orders of magnitude, so dynamic
+// index hand-out balances load where the static block partition the sketch
+// layers use (par.RunSharded) would idle workers. The median-trial loops
+// of Algorithms 5–7 (and the Karp–Luby baseline) are embarrassingly
+// parallel once two sequential dependencies are removed:
 //
 //   - randomness: all hash functions and per-trial RNG seeds are drawn
 //     serially before the pool starts, in the same order a serial run

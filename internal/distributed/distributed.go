@@ -87,7 +87,9 @@ func (o Options) rng() *stats.RNG {
 func (o Options) parallelism() int { return par.Workers(o.Parallelism) }
 
 // runTrials executes fn(i) for i in [0, t) on up to workers goroutines;
-// fn must write only to its own trial slot.
+// fn must write only to its own trial slot. The dynamic pool (par.Run) is
+// deliberate: per-trial cost varies with the planted formula, unlike the
+// homogeneous per-copy sketch work that par.RunSharded serves.
 func runTrials(t, workers int, fn func(i int)) { par.Run(t, workers, fn) }
 
 // Comm tallies the exact number of bits exchanged.

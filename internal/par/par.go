@@ -1,8 +1,15 @@
-// Package par provides the tiny worker-pool primitive shared by every
-// trial-parallel loop in the repository (counting and distributed median
-// trials, set-stream sketch copies). Keeping it in one place means pool
-// semantics — work-stealing order, panic propagation, future cancellation —
-// are fixed once.
+// Package par provides the two worker-pool primitives shared by every
+// parallel loop in the repository:
+//
+//   - Run, a dynamic (work-stealing) pool for heterogeneous tasks such as
+//     the counting and distributed median trials, where per-task cost
+//     varies by orders of magnitude (SAT calls);
+//   - RunSharded, a static block-partitioned pool for homogeneous per-copy
+//     sketch work, where a fixed shard→index assignment lets callers keep
+//     per-shard scratch and amortise dispatch over whole index blocks.
+//
+// Keeping both in one place means pool semantics — assignment order, panic
+// propagation, future cancellation — are fixed once.
 package par
 
 import (
@@ -21,8 +28,10 @@ func Workers(requested int) int {
 }
 
 // Run executes fn(i) for i in [0, count) on up to workers goroutines.
-// fn must write results only to its own index's slot; when workers > 1 it
-// is invoked concurrently and must not touch shared mutable state.
+// Indices are handed out dynamically (first idle worker takes the next
+// index), which balances heterogeneous task costs. fn must write results
+// only to its own index's slot; when workers > 1 it is invoked concurrently
+// and must not touch shared mutable state.
 func Run(count, workers int, fn func(i int)) {
 	if workers > count {
 		workers = count
@@ -49,4 +58,69 @@ func Run(count, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ShardCount returns the number of shards RunSharded uses for the given
+// index count and worker bound: min(workers, count), at least 1. Callers
+// sizing per-shard scratch should use the worker bound alone (Workers(p)),
+// which is an upper bound for every count.
+func ShardCount(count, workers int) int {
+	if workers > count {
+		workers = count
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunSharded executes fn(i, shard) for i in [0, count) on up to workers
+// goroutines, statically partitioning the index space into
+// ShardCount(count, workers) contiguous blocks: shard s owns indices
+// [s·count/shards, (s+1)·count/shards) and visits them in increasing order
+// on a single goroutine. The assignment is a pure function of
+// (count, workers) — never of scheduling — so runs are reproducible and fn
+// may reuse scratch buffers indexed by shard. Scratch carries garbage
+// between indices of the same shard; fn must fully overwrite it per index.
+//
+// Determinism of results across worker counts is the caller's contract:
+// index i's work must depend only on i's own state (per-copy RNG streams
+// keyed by copy index, never by shard or worker), in which case results
+// are bit-identical at every parallelism level.
+func RunSharded(count, workers int, fn func(i, shard int)) {
+	shards := ShardCount(count, workers)
+	if shards <= 1 {
+		for i := 0; i < count; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * count / shards
+		hi := (s + 1) * count / shards
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i, s)
+			}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ShardScratch builds one scratch value per potential shard for RunSharded
+// loops with worker bound `workers` (shard indices never reach past
+// Workers-many shards regardless of count). Intended to be called once at
+// sketch construction and reused across calls.
+func ShardScratch[T any](workers int, mk func() T) []T {
+	out := make([]T, workers)
+	for i := range out {
+		out[i] = mk()
+	}
+	return out
 }

@@ -10,6 +10,15 @@
 // H_Toeplitz(n, 3n), updating per item with the appropriate FindMin — the
 // Minimum-based counter run "inside out".
 //
+// The t sketch copies are independent (own hash, own minima) and their
+// per-item FindMin computations fan out across a worker pool
+// (Options.Parallelism). Every stream also offers a batch entry point
+// (ProcessDNFBatch, ProcessRangeBatch, …) that walks a whole chunk of
+// items per copy with a single pool dispatch, leaving the sketch in
+// exactly the state element-at-a-time processing would. Hashes are drawn
+// serially at construction keyed by copy index, so fixed-seed estimates
+// are bit-identical at every parallelism level.
+//
 // The package also implements the weighted-#DNF → d-dimensional-range
 // reduction of Section 5.
 package setstream
@@ -85,7 +94,13 @@ func (o Options) rng() *stats.RNG {
 func (o Options) parallelism() int { return par.Workers(o.Parallelism) }
 
 // runCopies executes fn(i) for each sketch copy on up to workers
-// goroutines; fn must touch only copy i's state.
+// goroutines; fn must touch only copy i's state. The dynamic pool
+// (par.Run) fits here: per-copy FindMin cost is heavy (≫ dispatch cost,
+// so the pool engages even for single items, unlike the streaming
+// sketches) and varies with the copy's hash — for CNF items by orders of
+// magnitude (SAT) — so dynamic hand-out balances load where a static
+// block partition would strand slow copies. No per-shard scratch is used,
+// and results are keyed by copy index, so determinism needs nothing more.
 func runCopies(count, workers int, fn func(i int)) { par.Run(count, workers, fn) }
 
 // minSketch is the shared Minimum-style sketch: per copy, a Toeplitz hash
@@ -181,8 +196,9 @@ func (s *minSketch) SketchWords() int {
 // computed in time O(n⁴·k·Thresh) by FindMinDNF and merged into the
 // sketch.
 type DNFStream struct {
-	n int
-	s *minSketch
+	n   int
+	s   *minSketch
+	one [1]*formula.DNF
 }
 
 // NewDNFStream builds the estimator over n-variable DNF items.
@@ -193,13 +209,27 @@ func NewDNFStream(n int, opts Options) *DNFStream {
 // ProcessDNF absorbs one DNF set; the per-copy FindMin computations run
 // across the sketch's worker pool (FindMinDNF only reads f and the hash).
 func (d *DNFStream) ProcessDNF(f *formula.DNF) {
-	if f.N != d.n {
-		panic("setstream: DNF variable count mismatch")
+	d.one[0] = f
+	d.ProcessDNFBatch(d.one[:])
+}
+
+// ProcessDNFBatch absorbs a chunk of DNF sets with a single pool dispatch:
+// each copy walks the items in arrival order, so the sketch ends in
+// exactly the state len(fs) ProcessDNF calls would produce.
+func (d *DNFStream) ProcessDNFBatch(fs []*formula.DNF) {
+	for _, f := range fs {
+		if f.N != d.n {
+			panic("setstream: DNF variable count mismatch")
+		}
+	}
+	if len(fs) == 0 {
+		return
 	}
 	runCopies(len(d.s.copies), d.s.workers, func(i int) {
 		c := d.s.copies[i]
-		batch := counting.FindMinDNF(f, c.h, d.s.thresh)
-		d.s.absorb(c, batch)
+		for _, f := range fs {
+			d.s.absorb(c, counting.FindMinDNF(f, c.h, d.s.thresh))
+		}
 	})
 }
 
@@ -207,6 +237,16 @@ func (d *DNFStream) ProcessDNF(f *formula.DNF) {
 // model embeds into DNF streams via singleton formulas).
 func (d *DNFStream) ProcessElement(x bitvec.BitVec) {
 	d.ProcessDNF(formula.SingletonDNF(x))
+}
+
+// ProcessElementBatch absorbs a chunk of universe elements as singleton
+// DNF sets with a single pool dispatch.
+func (d *DNFStream) ProcessElementBatch(xs []bitvec.BitVec) {
+	fs := make([]*formula.DNF, len(xs))
+	for i, x := range xs {
+		fs[i] = formula.SingletonDNF(x)
+	}
+	d.ProcessDNFBatch(fs)
 }
 
 // Estimate returns the (ε, δ)-approximation of |∪ᵢ Sol(φᵢ)|.
@@ -248,6 +288,30 @@ func (r *RangeStream) ProcessRange(mr formula.MultiRange) error {
 		return err
 	}
 	r.inner.ProcessDNF(d)
+	return nil
+}
+
+// ProcessRangeBatch absorbs a chunk of d-dimensional ranges with a single
+// pool dispatch. The conversion to Lemma 4 DNFs happens up front: on any
+// invalid range the whole batch is rejected and the sketch is unchanged.
+func (r *RangeStream) ProcessRangeBatch(mrs []formula.MultiRange) error {
+	ds := make([]*formula.DNF, len(mrs))
+	for k, mr := range mrs {
+		if len(mr.Dims) != len(r.bits) {
+			panic("setstream: dimension count mismatch")
+		}
+		for i, dim := range mr.Dims {
+			if dim.Bits != r.bits[i] {
+				panic("setstream: dimension width mismatch")
+			}
+		}
+		d, err := formula.MultiRangeDNF(mr)
+		if err != nil {
+			return err
+		}
+		ds[k] = d
+	}
+	r.inner.ProcessDNFBatch(ds)
 	return nil
 }
 
@@ -293,6 +357,30 @@ func (p *ProgressionStream) ProcessProgression(ps []formula.Progression) error {
 	return nil
 }
 
+// ProcessProgressionBatch absorbs a chunk of d-dimensional progressions
+// with a single pool dispatch; on any invalid item the whole batch is
+// rejected and the sketch is unchanged.
+func (p *ProgressionStream) ProcessProgressionBatch(items [][]formula.Progression) error {
+	ds := make([]*formula.DNF, len(items))
+	for k, ps := range items {
+		if len(ps) != len(p.bits) {
+			panic("setstream: dimension count mismatch")
+		}
+		for i, pr := range ps {
+			if pr.Bits != p.bits[i] {
+				panic("setstream: dimension width mismatch")
+			}
+		}
+		d, err := formula.MultiProgressionDNF(ps)
+		if err != nil {
+			return err
+		}
+		ds[k] = d
+	}
+	p.inner.ProcessDNFBatch(ds)
+	return nil
+}
+
 // Estimate returns the (ε, δ)-approximation of the union size.
 func (p *ProgressionStream) Estimate() float64 { return p.inner.Estimate() }
 
@@ -324,13 +412,29 @@ func AffineFindMin(a *gf2.Matrix, b bitvec.BitVec, h *hash.Linear, t int) []bitv
 // ProcessAffine absorbs one affine set {x : Ax = b}; the per-copy prefix
 // searches run across the sketch's worker pool.
 func (s *AffineStream) ProcessAffine(a *gf2.Matrix, b bitvec.BitVec) {
-	if a.Cols() != s.n {
-		panic("setstream: affine item width mismatch")
+	s.ProcessAffineBatch([]*gf2.Matrix{a}, []bitvec.BitVec{b})
+}
+
+// ProcessAffineBatch absorbs a chunk of affine sets {x : as[k]·x = bs[k]}
+// with a single pool dispatch: each copy runs its prefix searches over the
+// items in arrival order.
+func (s *AffineStream) ProcessAffineBatch(as []*gf2.Matrix, bs []bitvec.BitVec) {
+	if len(as) != len(bs) {
+		panic("setstream: affine batch arity mismatch")
+	}
+	for _, a := range as {
+		if a.Cols() != s.n {
+			panic("setstream: affine item width mismatch")
+		}
+	}
+	if len(as) == 0 {
+		return
 	}
 	runCopies(len(s.s.copies), s.s.workers, func(i int) {
 		c := s.s.copies[i]
-		batch := AffineFindMin(a, b, c.h, s.s.thresh)
-		s.s.absorb(c, batch)
+		for k, a := range as {
+			s.s.absorb(c, AffineFindMin(a, bs[k], c.h, s.s.thresh))
+		}
 	})
 }
 
@@ -356,23 +460,43 @@ func NewCNFStream(n int, opts Options) *CNFStream {
 	return &CNFStream{n: n, s: newMinSketch(n, opts)}
 }
 
-// ProcessCNF absorbs one CNF set; each copy solves against its own forked
-// SAT oracle and the query meters are summed in copy order.
+// ProcessCNF absorbs one CNF set; each copy solves against its own SAT
+// oracle and the query meters are summed in copy order.
 func (c *CNFStream) ProcessCNF(f *formula.CNF) {
-	if f.N != c.n {
-		panic("setstream: CNF variable count mismatch")
+	c.ProcessCNFBatch([]*formula.CNF{f})
+}
+
+// ProcessCNFBatch absorbs a chunk of CNF sets with a single pool dispatch.
+// Every (item, copy) pair gets its own SAT oracle, built inside the worker
+// right before use (oracle construction is pure per item, so at most t
+// oracles are live at once regardless of batch size); query meters are
+// recorded per pair and summed in (item, copy) order, matching repeated
+// ProcessCNF calls exactly.
+func (c *CNFStream) ProcessCNFBatch(fs []*formula.CNF) {
+	for _, f := range fs {
+		if f.N != c.n {
+			panic("setstream: CNF variable count mismatch")
+		}
 	}
-	srcs := make([]*oracle.CNFSource, len(c.s.copies))
-	for i := range srcs {
-		srcs[i] = oracle.NewCNFSource(f)
+	if len(fs) == 0 {
+		return
+	}
+	queries := make([][]int64, len(fs))
+	for k := range queries {
+		queries[k] = make([]int64, len(c.s.copies))
 	}
 	runCopies(len(c.s.copies), c.s.workers, func(i int) {
 		cp := c.s.copies[i]
-		batch := counting.FindMinOracle(srcs[i], cp.h, c.s.thresh)
-		c.s.absorb(cp, batch)
+		for k, f := range fs {
+			src := oracle.NewCNFSource(f)
+			c.s.absorb(cp, counting.FindMinOracle(src, cp.h, c.s.thresh))
+			queries[k][i] = src.Queries()
+		}
 	})
-	for _, src := range srcs {
-		c.Queries += src.Queries()
+	for k := range fs {
+		for _, q := range queries[k] {
+			c.Queries += q
+		}
 	}
 }
 

@@ -1,0 +1,212 @@
+package streaming
+
+import (
+	"runtime"
+	"testing"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/stats"
+)
+
+// dupStream builds a stream over an n-bit universe with heavy duplication
+// (so the batch paths exercise the already-present/eviction branches).
+func dupStream(n, length int, rng *stats.RNG) []bitvec.BitVec {
+	out := make([]bitvec.BitVec, length)
+	for i := range out {
+		out[i] = bitvec.FromUint64(rng.Uint64n(1<<14), n)
+	}
+	return out
+}
+
+// feedChunks splits the stream into uneven chunks straddling the engine's
+// serial/parallel gate (sizes below and above minBatchCheap) and feeds
+// them through ProcessBatch.
+func feedChunks(e Estimator, xs []bitvec.BitVec) {
+	sizes := []int{1, 3, 8, 2, 64, 5, 256}
+	for i, lo := 0, 0; lo < len(xs); i++ {
+		hi := lo + sizes[i%len(sizes)]
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		e.ProcessBatch(xs[lo:hi])
+		lo = hi
+	}
+}
+
+func requireBucketingEqual(t *testing.T, a, b *Bucketing) {
+	t.Helper()
+	if len(a.copies) != len(b.copies) {
+		t.Fatalf("copy counts %d != %d", len(a.copies), len(b.copies))
+	}
+	for i := range a.copies {
+		ca, cb := a.copies[i], b.copies[i]
+		if ca.level != cb.level {
+			t.Fatalf("copy %d: level %d != %d", i, ca.level, cb.level)
+		}
+		if len(ca.elems) != len(cb.elems) {
+			t.Fatalf("copy %d: cell sizes %d != %d", i, len(ca.elems), len(cb.elems))
+		}
+		for k, v := range ca.elems {
+			w, ok := cb.elems[k]
+			if !ok || !v.Equal(w) {
+				t.Fatalf("copy %d: cell contents diverge at key %v", i, k)
+			}
+		}
+	}
+}
+
+func requireMinimumEqual(t *testing.T, a, b *Minimum) {
+	t.Helper()
+	if len(a.copies) != len(b.copies) {
+		t.Fatalf("copy counts %d != %d", len(a.copies), len(b.copies))
+	}
+	for i := range a.copies {
+		ca, cb := a.copies[i], b.copies[i]
+		if len(ca.vals) != len(cb.vals) {
+			t.Fatalf("copy %d: %d vs %d minima", i, len(ca.vals), len(cb.vals))
+		}
+		for j := range ca.vals {
+			if !ca.vals[j].Equal(cb.vals[j]) {
+				t.Fatalf("copy %d: minima diverge at rank %d", i, j)
+			}
+		}
+	}
+}
+
+func requireEstimationEqual(t *testing.T, a, b *Estimation) {
+	t.Helper()
+	if len(a.s) != len(b.s) {
+		t.Fatalf("row counts %d != %d", len(a.s), len(b.s))
+	}
+	for i := range a.s {
+		for j := range a.s[i] {
+			if a.s[i][j] != b.s[i][j] {
+				t.Fatalf("grid diverges at (%d, %d): %d != %d", i, j, a.s[i][j], b.s[i][j])
+			}
+		}
+	}
+	requireFMEqual(t, a.fm, b.fm)
+}
+
+func requireFMEqual(t *testing.T, a, b *FlajoletMartin) {
+	t.Helper()
+	if len(a.max) != len(b.max) {
+		t.Fatalf("copy counts %d != %d", len(a.max), len(b.max))
+	}
+	for i := range a.max {
+		if a.max[i] != b.max[i] {
+			t.Fatalf("copy %d: max trailing zeros %d != %d", i, a.max[i], b.max[i])
+		}
+	}
+}
+
+// Batch-vs-single differential: ProcessBatch over a random stream must
+// leave every sketch copy in exactly the state element-at-a-time Process
+// produces, at every parallelism level.
+func TestBatchVsSingleDifferential(t *testing.T) {
+	n := 32
+	stream := dupStream(n, 1500, stats.NewRNG(0xba7c4))
+	for _, par := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		opts := Options{Epsilon: 0.8, Delta: 0.2, Thresh: 12, Iterations: 7,
+			RNG: stats.NewRNG(77), Parallelism: par}
+		estOpts := opts
+		estOpts.Thresh = 8
+		estOpts.Iterations = 3
+		estOpts.RNG = stats.NewRNG(77)
+
+		single := NewBucketing(n, Options{Epsilon: 0.8, Delta: 0.2, Thresh: 12, Iterations: 7,
+			RNG: stats.NewRNG(77), Parallelism: 1})
+		batch := NewBucketing(n, opts)
+		for _, x := range stream {
+			single.Process(x)
+		}
+		feedChunks(batch, stream)
+		requireBucketingEqual(t, single, batch)
+		if single.Estimate() != batch.Estimate() {
+			t.Fatalf("par=%d: bucketing estimates diverge", par)
+		}
+
+		mSingle := NewMinimum(n, Options{Epsilon: 0.8, Delta: 0.2, Thresh: 12, Iterations: 7,
+			RNG: stats.NewRNG(78), Parallelism: 1})
+		mOpts := opts
+		mOpts.RNG = stats.NewRNG(78)
+		mBatch := NewMinimum(n, mOpts)
+		for _, x := range stream {
+			mSingle.Process(x)
+		}
+		feedChunks(mBatch, stream)
+		requireMinimumEqual(t, mSingle, mBatch)
+		if mSingle.Estimate() != mBatch.Estimate() {
+			t.Fatalf("par=%d: minimum estimates diverge", par)
+		}
+
+		eSingle := NewEstimation(n, Options{Epsilon: 0.8, Delta: 0.2, Thresh: 8, Iterations: 3,
+			RNG: stats.NewRNG(77), Parallelism: 1})
+		eBatch := NewEstimation(n, estOpts)
+		for _, x := range stream {
+			eSingle.Process(x)
+		}
+		feedChunks(eBatch, stream)
+		requireEstimationEqual(t, eSingle, eBatch)
+		if eSingle.Estimate() != eBatch.Estimate() {
+			t.Fatalf("par=%d: estimation estimates diverge", par)
+		}
+
+		fSingle := NewFlajoletMartin(n, Options{Iterations: 7, RNG: stats.NewRNG(79), Parallelism: 1})
+		fOpts := opts
+		fOpts.RNG = stats.NewRNG(79)
+		fBatch := NewFlajoletMartin(n, fOpts)
+		for _, x := range stream {
+			fSingle.Process(x)
+		}
+		feedChunks(fBatch, stream)
+		requireFMEqual(t, fSingle, fBatch)
+
+		xSingle := NewExactDistinct(n)
+		xBatch := NewExactDistinct(n)
+		for _, x := range stream {
+			xSingle.Process(x)
+		}
+		feedChunks(xBatch, stream)
+		if xSingle.Count() != xBatch.Count() {
+			t.Fatalf("par=%d: exact counts diverge", par)
+		}
+	}
+}
+
+// Parallel-determinism matrix: fixed-seed estimates must be bit-identical
+// across Parallelism ∈ {1, 2, GOMAXPROCS} (and an explicit 4 in case
+// GOMAXPROCS is small), for both single-element and batched ingestion.
+func TestStreamingParallelDeterminism(t *testing.T) {
+	n := 32
+	stream := dupStream(n, 1200, stats.NewRNG(0xdecaf))
+	type result struct{ bucketing, minimum, estimation float64 }
+	run := func(par int) result {
+		mk := func(seed uint64) Options {
+			return Options{Epsilon: 0.8, Delta: 0.2, Thresh: 12, Iterations: 7,
+				RNG: stats.NewRNG(seed), Parallelism: par}
+		}
+		b := NewBucketing(n, mk(41))
+		m := NewMinimum(n, mk(42))
+		eo := mk(43)
+		eo.Thresh = 8
+		eo.Iterations = 3
+		e := NewEstimation(n, eo)
+		for lo := 0; lo < len(stream); lo += 200 {
+			hi := lo + 200
+			if hi > len(stream) {
+				hi = len(stream)
+			}
+			b.ProcessBatch(stream[lo:hi])
+			m.ProcessBatch(stream[lo:hi])
+			e.ProcessBatch(stream[lo:hi])
+		}
+		return result{b.Estimate(), m.Estimate(), e.Estimate()}
+	}
+	want := run(1)
+	for _, par := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if got := run(par); got != want {
+			t.Fatalf("parallelism %d: %+v != serial %+v", par, got, want)
+		}
+	}
+}

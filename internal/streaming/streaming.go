@@ -10,7 +10,18 @@
 //     count of Thresh independent s-wise hashes;
 //
 // plus the Flajolet–Martin rough estimator and an exact-distinct baseline.
-// Every sketch processes items one at a time and is order-insensitive.
+// Every sketch processes items one at a time (Process) or in chunks
+// (ProcessBatch) and is order-insensitive.
+//
+// The t ≈ 35·log₂(1/δ) copies of each sketch are independent — own hash
+// function, own mutable state — and run on a sharded worker pool
+// (Options.Parallelism) when the work amortises dispatch: ProcessBatch
+// fans the copies out one dispatch per chunk, and Estimation.Process fans
+// out even on single elements (its per-copy work is Thresh evaluations).
+// Hash functions are drawn serially at construction keyed by copy index,
+// never by worker, so fixed-seed estimates are bit-identical at every
+// parallelism level and ProcessBatch leaves every copy in exactly the
+// state element-at-a-time Process would.
 package streaming
 
 import (
@@ -20,6 +31,7 @@ import (
 
 	"mcf0/internal/bitvec"
 	"mcf0/internal/hash"
+	"mcf0/internal/par"
 	"mcf0/internal/stats"
 )
 
@@ -31,6 +43,12 @@ type Options struct {
 	Thresh     int
 	Iterations int
 	RNG        *stats.RNG
+	// Parallelism bounds the worker pool that fans the t independent
+	// sketch copies out across CPUs. 0 selects GOMAXPROCS; 1 forces
+	// serial. Copies own all their mutable state and their hashes are
+	// drawn serially at construction, so fixed-seed estimates are
+	// bit-identical at every level.
+	Parallelism int
 }
 
 func (o Options) epsilon() float64 {
@@ -72,15 +90,22 @@ func (o Options) rng() *stats.RNG {
 	return stats.NewRNG(0xf0f0f0)
 }
 
+func (o Options) parallelism() int { return par.Workers(o.Parallelism) }
+
 func log2(x float64) float64 { return math.Log2(x) }
 
 func pow2(k int) float64 { return math.Pow(2, float64(k)) }
 
 // Estimator is the common face of the F0 sketches (Algorithm 1's
-// architecture): feed elements with Process, read the answer with Estimate.
+// architecture): feed elements with Process or ProcessBatch, read the
+// answer with Estimate.
 type Estimator interface {
 	// Process absorbs one stream element.
 	Process(x bitvec.BitVec)
+	// ProcessBatch absorbs a chunk of stream elements, leaving the sketch
+	// in exactly the state len(xs) Process calls in order would; chunks
+	// amortise the worker-pool dispatch over many elements.
+	ProcessBatch(xs []bitvec.BitVec)
 	// Estimate returns the current F0 approximation.
 	Estimate() float64
 	// SketchWords returns the current sketch size in 64-bit words,
@@ -105,6 +130,13 @@ func NewExactDistinct(n int) *ExactDistinct {
 // Process absorbs one element.
 func (e *ExactDistinct) Process(x bitvec.BitVec) { e.seen[x.Fingerprint()] = struct{}{} }
 
+// ProcessBatch absorbs a chunk of elements (the set is inherently serial).
+func (e *ExactDistinct) ProcessBatch(xs []bitvec.BitVec) {
+	for _, x := range xs {
+		e.Process(x)
+	}
+}
+
 // Estimate returns the exact distinct count.
 func (e *ExactDistinct) Estimate() float64 { return float64(len(e.seen)) }
 
@@ -119,6 +151,9 @@ func (e *ExactDistinct) Count() int { return len(e.seen) }
 type Bucketing struct {
 	thresh int
 	copies []*bucketCopy
+	eng    engine
+	keys   []bitvec.Fingerprint // batch fingerprint scratch
+	one    [1]bitvec.BitVec
 }
 
 type bucketCopy struct {
@@ -137,7 +172,7 @@ type bucketCopy struct {
 func NewBucketing(n int, opts Options) *Bucketing {
 	rng := opts.rng()
 	fam := hash.NewToeplitz(n, n)
-	b := &Bucketing{thresh: opts.thresh()}
+	b := &Bucketing{thresh: opts.thresh(), eng: newEngine(opts.Parallelism, minBatchCheap)}
 	for i := 0; i < opts.iterations(); i++ {
 		b.copies = append(b.copies, &bucketCopy{
 			h:       fam.Draw(rng.Uint64).(*hash.Linear),
@@ -148,27 +183,59 @@ func NewBucketing(n int, opts Options) *Bucketing {
 	return b
 }
 
-// Process absorbs one element (lines 3–11 of Algorithm 3).
-func (b *Bucketing) Process(x bitvec.BitVec) {
-	key := x.Fingerprint()
-	for _, c := range b.copies {
-		if _, ok := c.elems[key]; ok {
-			continue
-		}
-		c.h.EvalInto(x, c.scratch)
-		if !c.scratch.HasZeroPrefix(c.level) {
-			continue
-		}
-		c.elems[key] = c.scratch.Clone()
-		for len(c.elems) > b.thresh {
-			c.level++
-			for k, hy := range c.elems {
-				if !hy.HasZeroPrefix(c.level) {
-					delete(c.elems, k)
-				}
+// absorb runs lines 3–11 of Algorithm 3 for one copy and one element.
+func (c *bucketCopy) absorb(x bitvec.BitVec, key bitvec.Fingerprint, thresh int) {
+	if _, ok := c.elems[key]; ok {
+		return
+	}
+	c.h.EvalInto(x, c.scratch)
+	if !c.scratch.HasZeroPrefix(c.level) {
+		return
+	}
+	c.elems[key] = c.scratch.Clone()
+	for len(c.elems) > thresh {
+		c.level++
+		for k, hy := range c.elems {
+			if !hy.HasZeroPrefix(c.level) {
+				delete(c.elems, k)
 			}
 		}
 	}
+}
+
+// Process absorbs one element (lines 3–11 of Algorithm 3).
+func (b *Bucketing) Process(x bitvec.BitVec) {
+	b.one[0] = x
+	b.ProcessBatch(b.one[:])
+}
+
+// ProcessBatch absorbs a chunk of elements, fanning the copies across the
+// worker pool with one dispatch for the whole chunk.
+func (b *Bucketing) ProcessBatch(xs []bitvec.BitVec) {
+	if len(xs) == 0 {
+		return
+	}
+	if cap(b.keys) < len(xs) {
+		b.keys = make([]bitvec.Fingerprint, len(xs))
+	}
+	keys := b.keys[:len(xs)]
+	for k, x := range xs {
+		keys[k] = x.Fingerprint()
+	}
+	if b.eng.serial(len(xs)) {
+		for _, c := range b.copies {
+			for k, x := range xs {
+				c.absorb(x, keys[k], b.thresh)
+			}
+		}
+		return
+	}
+	b.eng.run(len(b.copies), func(i, _ int) {
+		c := b.copies[i]
+		for k, x := range xs {
+			c.absorb(x, keys[k], b.thresh)
+		}
+	})
 }
 
 // Estimate returns Median_i(|bucket_i| · 2^level_i).
@@ -208,6 +275,8 @@ func (b *Bucketing) MaxLevel() int {
 type Minimum struct {
 	thresh int
 	copies []*minCopy
+	eng    engine
+	one    [1]bitvec.BitVec
 }
 
 type minCopy struct {
@@ -223,7 +292,7 @@ type minCopy struct {
 func NewMinimum(n int, opts Options) *Minimum {
 	rng := opts.rng()
 	fam := hash.NewToeplitz(n, 3*n)
-	m := &Minimum{thresh: opts.thresh()}
+	m := &Minimum{thresh: opts.thresh(), eng: newEngine(opts.Parallelism, minBatchCheap)}
 	for i := 0; i < opts.iterations(); i++ {
 		m.copies = append(m.copies, &minCopy{
 			h:       fam.Draw(rng.Uint64).(*hash.Linear),
@@ -233,28 +302,54 @@ func NewMinimum(n int, opts Options) *Minimum {
 	return m
 }
 
+// absorb runs lines 12–18 of Algorithm 3 for one copy and one element.
+func (c *minCopy) absorb(x bitvec.BitVec, thresh int) {
+	c.h.EvalInto(x, c.scratch)
+	y := c.scratch
+	idx := sort.Search(len(c.vals), func(i int) bool { return !c.vals[i].Less(y) })
+	if idx < len(c.vals) && c.vals[idx].Equal(y) {
+		return // already present
+	}
+	if len(c.vals) < thresh {
+		c.vals = append(c.vals, bitvec.BitVec{})
+		copy(c.vals[idx+1:], c.vals[idx:])
+		c.vals[idx] = y.Clone()
+	} else if idx < len(c.vals) {
+		// y is smaller than the current maximum: replace it. Recycle
+		// the evicted maximum's storage instead of allocating.
+		evicted := c.vals[len(c.vals)-1]
+		copy(c.vals[idx+1:], c.vals[idx:len(c.vals)-1])
+		evicted.CopyFrom(y)
+		c.vals[idx] = evicted
+	}
+}
+
 // Process absorbs one element (lines 12–18 of Algorithm 3).
 func (m *Minimum) Process(x bitvec.BitVec) {
-	for _, c := range m.copies {
-		c.h.EvalInto(x, c.scratch)
-		y := c.scratch
-		idx := sort.Search(len(c.vals), func(i int) bool { return !c.vals[i].Less(y) })
-		if idx < len(c.vals) && c.vals[idx].Equal(y) {
-			continue // already present
-		}
-		if len(c.vals) < m.thresh {
-			c.vals = append(c.vals, bitvec.BitVec{})
-			copy(c.vals[idx+1:], c.vals[idx:])
-			c.vals[idx] = y.Clone()
-		} else if idx < len(c.vals) {
-			// y is smaller than the current maximum: replace it. Recycle
-			// the evicted maximum's storage instead of allocating.
-			evicted := c.vals[len(c.vals)-1]
-			copy(c.vals[idx+1:], c.vals[idx:len(c.vals)-1])
-			evicted.CopyFrom(y)
-			c.vals[idx] = evicted
-		}
+	m.one[0] = x
+	m.ProcessBatch(m.one[:])
+}
+
+// ProcessBatch absorbs a chunk of elements, fanning the copies across the
+// worker pool with one dispatch for the whole chunk.
+func (m *Minimum) ProcessBatch(xs []bitvec.BitVec) {
+	if len(xs) == 0 {
+		return
 	}
+	if m.eng.serial(len(xs)) {
+		for _, c := range m.copies {
+			for _, x := range xs {
+				c.absorb(x, m.thresh)
+			}
+		}
+		return
+	}
+	m.eng.run(len(m.copies), func(i, _ int) {
+		c := m.copies[i]
+		for _, x := range xs {
+			c.absorb(x, m.thresh)
+		}
+	})
 }
 
 // Estimate returns Median_i(Thresh / frac(max S[i])), or the exact distinct
@@ -298,10 +393,14 @@ type Estimation struct {
 	hs     [][]hash.Func
 	// u64 mirrors hs via the integer fast path when every hash supports it
 	// (the polynomial family always does); nil otherwise.
-	u64     [][]hash.Uint64Hash
-	s       [][]int // S[i][j]: max trailing zeros seen
-	fm      *FlajoletMartin
-	scratch bitvec.BitVec
+	u64 [][]hash.Uint64Hash
+	s   [][]int // S[i][j]: max trailing zeros seen
+	fm  *FlajoletMartin
+	eng engine
+	// scratch holds one hash-output buffer per pool shard (generic path).
+	scratch []bitvec.BitVec
+	xvs     []uint64 // batch integer-conversion scratch
+	one     [1]bitvec.BitVec
 }
 
 // NewEstimation builds an Estimation sketch over n-bit elements, drawing
@@ -315,7 +414,13 @@ func NewEstimation(n int, opts Options) *Estimation {
 	fam := hash.NewPoly(n, s)
 	t := opts.iterations()
 	thresh := opts.thresh()
-	e := &Estimation{thresh: thresh, n: n, fm: NewFlajoletMartin(n, opts), scratch: bitvec.New(n)}
+	e := &Estimation{
+		thresh:  thresh,
+		n:       n,
+		fm:      NewFlajoletMartin(n, opts),
+		eng:     newEngine(opts.Parallelism, minBatchEstimation),
+		scratch: par.ShardScratch(opts.parallelism(), func() bitvec.BitVec { return bitvec.New(n) }),
+	}
 	allU64 := true
 	for i := 0; i < t; i++ {
 		var row []hash.Func
@@ -341,35 +446,76 @@ func NewEstimation(n int, opts Options) *Estimation {
 	return e
 }
 
-// Process absorbs one element (lines 19–21 of Algorithm 3).
+// Process absorbs one element (lines 19–21 of Algorithm 3). Each copy does
+// Thresh hash evaluations, so even a single element fans out across the
+// pool.
 func (e *Estimation) Process(x bitvec.BitVec) {
+	e.one[0] = x
+	e.ProcessBatch(e.one[:])
+}
+
+// ProcessBatch absorbs a chunk of elements, fanning the t grid rows across
+// the worker pool.
+func (e *Estimation) ProcessBatch(xs []bitvec.BitVec) {
+	if len(xs) == 0 {
+		return
+	}
 	if e.u64 != nil {
-		// Integer fast path: convert x once, then every grid cell is one
-		// field evaluation plus a trailing-zeros instruction.
-		xv := x.Uint64()
-		for i := range e.u64 {
-			srow := e.s[i]
-			for j, u := range e.u64[i] {
-				y := u.EvalUint64(xv)
-				tz := e.n
-				if y != 0 {
-					tz = bits.TrailingZeros64(y)
-				}
-				if tz > srow[j] {
-					srow[j] = tz
-				}
+		// Integer fast path: convert each x once, then every grid cell is
+		// one field evaluation plus a trailing-zeros instruction.
+		if cap(e.xvs) < len(xs) {
+			e.xvs = make([]uint64, len(xs))
+		}
+		xvs := e.xvs[:len(xs)]
+		for k, x := range xs {
+			xvs[k] = x.Uint64()
+		}
+		if e.eng.serial(len(xs)) {
+			for i := range e.u64 {
+				e.absorbRowU64(i, xvs)
 			}
+		} else {
+			e.eng.run(len(e.u64), func(i, _ int) { e.absorbRowU64(i, xvs) })
 		}
 	} else {
-		for i := range e.hs {
-			for j, h := range e.hs[i] {
-				if tz := hash.EvalTrailingZeros(h, x, e.scratch); tz > e.s[i][j] {
-					e.s[i][j] = tz
-				}
+		if e.eng.serial(len(xs)) {
+			for i := range e.hs {
+				e.absorbRow(i, xs, e.scratch[0])
+			}
+		} else {
+			e.eng.run(len(e.hs), func(i, shard int) { e.absorbRow(i, xs, e.scratch[shard]) })
+		}
+	}
+	e.fm.ProcessBatch(xs)
+}
+
+// absorbRowU64 folds a converted batch into grid row i (integer path).
+func (e *Estimation) absorbRowU64(i int, xvs []uint64) {
+	srow := e.s[i]
+	for _, xv := range xvs {
+		for j, u := range e.u64[i] {
+			y := u.EvalUint64(xv)
+			tz := e.n
+			if y != 0 {
+				tz = bits.TrailingZeros64(y)
+			}
+			if tz > srow[j] {
+				srow[j] = tz
 			}
 		}
 	}
-	e.fm.Process(x)
+}
+
+// absorbRow folds a batch into grid row i via the generic hash interface.
+func (e *Estimation) absorbRow(i int, xs []bitvec.BitVec, scratch bitvec.BitVec) {
+	srow := e.s[i]
+	for _, x := range xs {
+		for j, h := range e.hs[i] {
+			if tz := hash.EvalTrailingZeros(h, x, scratch); tz > srow[j] {
+				srow[j] = tz
+			}
+		}
+	}
 }
 
 // EstimateWithR evaluates the Lemma 3 estimator at range parameter r.
@@ -411,16 +557,22 @@ func (e *Estimation) SketchWords() int { return len(e.s) * e.thresh }
 // 2^r, a factor-5 approximation of F0 with probability 3/5 (Alon–Matias–
 // Szegedy). The median over Iterations copies is reported.
 type FlajoletMartin struct {
-	hs      []*hash.Linear
-	max     []int
-	scratch bitvec.BitVec
+	hs  []*hash.Linear
+	max []int
+	eng engine
+	// scratch holds one hash-output buffer per pool shard.
+	scratch []bitvec.BitVec
+	one     [1]bitvec.BitVec
 }
 
 // NewFlajoletMartin builds the rough estimator with hashes from H_xor(n,n).
 func NewFlajoletMartin(n int, opts Options) *FlajoletMartin {
 	rng := opts.rng()
 	fam := hash.NewXor(n, n)
-	f := &FlajoletMartin{scratch: bitvec.New(n)}
+	f := &FlajoletMartin{
+		eng:     newEngine(opts.Parallelism, minBatchCheap),
+		scratch: par.ShardScratch(opts.parallelism(), func() bitvec.BitVec { return bitvec.New(n) }),
+	}
 	for i := 0; i < opts.iterations(); i++ {
 		f.hs = append(f.hs, fam.Draw(rng.Uint64).(*hash.Linear))
 		f.max = append(f.max, -1)
@@ -430,12 +582,36 @@ func NewFlajoletMartin(n int, opts Options) *FlajoletMartin {
 
 // Process absorbs one element.
 func (f *FlajoletMartin) Process(x bitvec.BitVec) {
-	for i, h := range f.hs {
-		h.EvalInto(x, f.scratch)
-		if tz := f.scratch.TrailingZeros(); tz > f.max[i] {
-			f.max[i] = tz
+	f.one[0] = x
+	f.ProcessBatch(f.one[:])
+}
+
+// ProcessBatch absorbs a chunk of elements, fanning the copies across the
+// worker pool.
+func (f *FlajoletMartin) ProcessBatch(xs []bitvec.BitVec) {
+	if len(xs) == 0 {
+		return
+	}
+	if f.eng.serial(len(xs)) {
+		for i := range f.hs {
+			f.absorbCopy(i, xs, f.scratch[0])
+		}
+		return
+	}
+	f.eng.run(len(f.hs), func(i, shard int) { f.absorbCopy(i, xs, f.scratch[shard]) })
+}
+
+// absorbCopy folds a batch into copy i's max-trailing-zeros counter.
+func (f *FlajoletMartin) absorbCopy(i int, xs []bitvec.BitVec, scratch bitvec.BitVec) {
+	h := f.hs[i]
+	best := f.max[i]
+	for _, x := range xs {
+		h.EvalInto(x, scratch)
+		if tz := scratch.TrailingZeros(); tz > best {
+			best = tz
 		}
 	}
+	f.max[i] = best
 }
 
 // Estimate returns Median_i(2^{r_i}).

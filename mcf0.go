@@ -22,6 +22,13 @@
 // Formulas enter either as DIMACS text (CountCNF / CountDNF) or as literal
 // lists in the DIMACS convention: literal +v / −v is variable v (1-based)
 // positive / negated.
+//
+// Every estimator is internally t ≈ 35·log₂(1/δ) independent trials or
+// sketch copies; Config.Parallelism bounds the worker pool they fan out
+// across, and the batch entry points (F0.AddBatch, DNFSetF0.AddDNFBatch,
+// RangeF0.AddRangeBatch, …) amortise one pool dispatch over a whole chunk
+// of stream items. Fixed-seed results are bit-identical at every
+// parallelism level and under any batching of the same stream.
 package mcf0
 
 import (
@@ -70,10 +77,14 @@ type Config struct {
 	// BinarySearch enables the ApproxMC2 prefix search for
 	// AlgorithmBucketing.
 	BinarySearch bool
-	// Parallelism bounds the worker pool running the independent median
-	// trials of the counting and distributed algorithms. 0 selects
-	// GOMAXPROCS, 1 forces serial execution. Results for a fixed Seed are
-	// identical at every parallelism level.
+	// Parallelism bounds the worker pools of every layer: the independent
+	// median trials of the counting and distributed algorithms, and the
+	// t independent sketch copies of the F0 and set-stream estimators
+	// (fanned out per batch — see F0.AddBatch and the set-stream batch
+	// methods). 0 selects GOMAXPROCS, 1 forces serial execution. All
+	// randomness is drawn serially and keyed by trial/copy index, never by
+	// worker, so results for a fixed Seed are bit-identical at every
+	// parallelism level.
 	Parallelism int
 }
 
@@ -297,11 +308,12 @@ func NewF0(nBits int, alg Algorithm, cfg Config) (*F0, error) {
 		return nil, fmt.Errorf("mcf0: universe width %d out of [1,64]", nBits)
 	}
 	opts := streaming.Options{
-		Epsilon:    cfg.Epsilon,
-		Delta:      cfg.Delta,
-		Thresh:     cfg.Thresh,
-		Iterations: cfg.Iterations,
-		RNG:        cfg.rng(),
+		Epsilon:     cfg.Epsilon,
+		Delta:       cfg.Delta,
+		Thresh:      cfg.Thresh,
+		Iterations:  cfg.Iterations,
+		RNG:         cfg.rng(),
+		Parallelism: cfg.Parallelism,
 	}
 	var est streaming.Estimator
 	switch alg {
@@ -323,6 +335,24 @@ func (f *F0) Add(x uint64) {
 		panic(fmt.Sprintf("mcf0: element %d exceeds %d-bit universe", x, f.nBits))
 	}
 	f.est.Process(bitvec.FromUint64(x, f.nBits))
+}
+
+// AddBatch absorbs a chunk of stream elements, fanning the sketch's
+// independent copies across Config.Parallelism workers with one dispatch
+// for the whole chunk. Equivalent to calling Add on each element in order;
+// chunks of a few hundred elements amortise the dispatch best.
+func (f *F0) AddBatch(xs []uint64) {
+	if len(xs) == 0 {
+		return
+	}
+	batch := make([]bitvec.BitVec, len(xs))
+	for i, x := range xs {
+		if f.nBits < 64 && x >= 1<<uint(f.nBits) {
+			panic(fmt.Sprintf("mcf0: element %d exceeds %d-bit universe", x, f.nBits))
+		}
+		batch[i] = bitvec.FromUint64(x, f.nBits)
+	}
+	f.est.ProcessBatch(batch)
 }
 
 // Estimate returns the current distinct-count approximation.
@@ -373,6 +403,27 @@ func (r *RangeF0) AddRange(lo, hi []uint64) error {
 		dims[i] = formula.Range{Lo: lo[i], Hi: hi[i], Bits: r.bits[i]}
 	}
 	return r.inner.ProcessRange(formula.MultiRange{Dims: dims})
+}
+
+// AddRangeBatch absorbs a chunk of boxes (los[k], his[k] bound box k) with
+// a single worker-pool dispatch. On any invalid box the whole batch is
+// rejected and the sketch is unchanged.
+func (r *RangeF0) AddRangeBatch(los, his [][]uint64) error {
+	if len(los) != len(his) {
+		return fmt.Errorf("mcf0: batch has %d lower and %d upper bounds", len(los), len(his))
+	}
+	mrs := make([]formula.MultiRange, len(los))
+	for k := range los {
+		if len(los[k]) != len(r.bits) || len(his[k]) != len(r.bits) {
+			return fmt.Errorf("mcf0: range %d has %d dims, sketch has %d", k, len(los[k]), len(r.bits))
+		}
+		dims := make([]formula.Range, len(los[k]))
+		for i := range los[k] {
+			dims[i] = formula.Range{Lo: los[k][i], Hi: his[k][i], Bits: r.bits[i]}
+		}
+		mrs[k] = formula.MultiRange{Dims: dims}
+	}
+	return r.inner.ProcessRangeBatch(mrs)
 }
 
 // Estimate returns the approximate union size.
@@ -435,9 +486,35 @@ func (d *DNFSetF0) AddDNF(terms [][]int) error {
 	return nil
 }
 
+// AddDNFBatch absorbs a chunk of DNF sets with a single worker-pool
+// dispatch. On any invalid term list the whole batch is rejected and the
+// sketch is unchanged.
+func (d *DNFSetF0) AddDNFBatch(termss [][][]int) error {
+	fs := make([]*formula.DNF, len(termss))
+	for k, terms := range termss {
+		f, err := dnfFromTerms(d.n, terms)
+		if err != nil {
+			return err
+		}
+		fs[k] = f
+	}
+	d.inner.ProcessDNFBatch(fs)
+	return nil
+}
+
 // AddElement absorbs one plain element (a singleton set).
 func (d *DNFSetF0) AddElement(x uint64) {
 	d.inner.ProcessElement(bitvec.FromUint64(x, d.n))
+}
+
+// AddElementBatch absorbs a chunk of plain elements (singleton sets) with
+// a single worker-pool dispatch.
+func (d *DNFSetF0) AddElementBatch(xs []uint64) {
+	batch := make([]bitvec.BitVec, len(xs))
+	for i, x := range xs {
+		batch[i] = bitvec.FromUint64(x, d.n)
+	}
+	d.inner.ProcessElementBatch(batch)
 }
 
 // Estimate returns the approximate union size.

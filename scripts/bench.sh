@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# Runs the hot-path benchmarks with -benchmem and regenerates BENCH_2.json,
+# Runs the hot-path benchmarks with -benchmem and regenerates BENCH_3.json,
 # pairing the results with the checked-in pre-change baseline
-# (bench/baseline2_*.txt, captured at the PR-1 tree before the CDCL solver
-# overhaul). Usage: scripts/bench.sh [output.json]
+# (bench/baseline3_*.txt, captured at the PR-2 tree before the sharded
+# sketch engine). The par=1 vs par=max variants of the sharded benches
+# (BenchmarkE4SketchBatch, BenchmarkE6DNFStreamBatch) quantify the
+# per-copy fan-out; they collapse to the same figure on a single-core
+# machine. Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_2.json}
-HOT='BenchmarkA1HashFamily|BenchmarkE4F0Sketches|BenchmarkGF2$|BenchmarkE1ApproxMC|BenchmarkE2FindMin'
+OUT=${1:-BENCH_3.json}
+HOT='BenchmarkA1HashFamily|BenchmarkE4F0Sketches|BenchmarkE4SketchBatch|BenchmarkGF2$|BenchmarkE1ApproxMC|BenchmarkE2FindMin|BenchmarkE6DNFStream'
 
 mkdir -p bench
 go test . -run '^$' -bench "$HOT" -benchmem -benchtime 300ms | tee bench/current_hot.txt
 go test ./internal/sat -run '^$' -bench . -benchmem -benchtime 300ms | tee bench/current_sat.txt
 
 go run ./scripts/benchjson -out "$OUT" \
-  -baseline bench/baseline2_hot.txt -baseline bench/baseline2_sat.txt \
+  -baseline bench/baseline3_hot.txt -baseline bench/baseline3_sat.txt \
   -current bench/current_hot.txt -current bench/current_sat.txt
 
 echo "wrote $OUT"
