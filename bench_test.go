@@ -422,6 +422,48 @@ func BenchmarkA1HashFamily(b *testing.B) {
 	}
 }
 
+var sinkUint64 uint64
+
+// BenchmarkToeplitzEvalInto isolates the PR-4 tentpole kernel: Toeplitz
+// evaluation as a carry-less multiply of the packed diagonal (clmul)
+// against the per-row dot-product sweep (dotrow) over the same drawn
+// function. Shapes cover the sketch workloads (n→n bucketing, n→3n
+// minimum) and widths straddling the word boundary; the uint64 variant is
+// the integer fast path the trailing-zero estimators consume via
+// hash.AsUint64Hash.
+func BenchmarkToeplitzEvalInto(b *testing.B) {
+	rng := stats.NewRNG(31)
+	for _, tc := range []struct{ n, m int }{{32, 32}, {32, 96}, {64, 64}, {64, 192}, {127, 127}} {
+		h := hash.NewToeplitz(tc.n, tc.m).Draw(rng.Uint64).(*hash.Linear)
+		// Rewrapping A and b drops the packed-diagonal kernel, leaving the
+		// pre-PR-4 row sweep over the identical function.
+		slow := hash.NewLinear(h.A, h.B)
+		x := bitvec.Random(tc.n, rng.Uint64)
+		dst := bitvec.New(tc.m)
+		b.Run(fmt.Sprintf("clmul/n=%d/m=%d", tc.n, tc.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.EvalInto(x, dst)
+			}
+		})
+		b.Run(fmt.Sprintf("dotrow/n=%d/m=%d", tc.n, tc.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				slow.EvalInto(x, dst)
+			}
+		})
+	}
+	u, ok := hash.AsUint64Hash(hash.NewToeplitz(48, 48).Draw(rng.Uint64))
+	if !ok {
+		b.Fatal("expected integer fast path for 48→48")
+	}
+	b.Run("clmul-uint64/n=48/m=48", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc ^= u.EvalUint64(uint64(i) & 0xFFFFFFFFFFFF)
+		}
+		sinkUint64 = acc
+	})
+}
+
 // BenchmarkA2Search compares linear vs binary prefix search in oracle
 // calls and time (ApproxMC vs ApproxMC2).
 func BenchmarkA2Search(b *testing.B) {

@@ -437,6 +437,66 @@ func (b BitVec) WindowInto(off int, dst BitVec) {
 	}
 }
 
+// WindowFromWords copies bits [off, off+dst.Len()) of the packed
+// little-endian word slice src (bit i lives at src[i/64], position i%64 —
+// the Words layout) into dst. It is the destination-passing bridge from
+// raw polynomial products (gf2poly.ClmulAccInto) back into bit-vector
+// form; package hash uses it to slice the output window out of a Toeplitz
+// carry-less multiply.
+func WindowFromWords(src []uint64, off int, dst BitVec) {
+	if off < 0 || off+dst.n > len(src)*wordBits {
+		panic("bitvec: window out of range")
+	}
+	if dst.n == 0 {
+		return
+	}
+	sw := off / wordBits
+	sh := uint(off) % wordBits
+	dw := dst.words
+	for i := range dw {
+		w := src[sw+i] >> sh
+		if sh != 0 && sw+i+1 < len(src) {
+			w |= src[sw+i+1] << (wordBits - sh)
+		}
+		dw[i] = w
+	}
+	if rem := uint(dst.n) % wordBits; rem != 0 {
+		dw[len(dw)-1] &= (1 << rem) - 1
+	}
+}
+
+// ReverseInto writes the bit-reversal of b into dst: dst bit t is b's bit
+// n−1−t. Widths must match and dst must not alias b. The reversal is
+// word-parallel: reverse the word order, bit-reverse each word, then shift
+// out the padding that the last partial word introduced. Package hash uses
+// this to turn a Toeplitz diagonal into the packed polynomial whose
+// product with the input realizes A·x.
+func (b BitVec) ReverseInto(dst BitVec) {
+	if b.n != dst.n {
+		panic("bitvec: width mismatch")
+	}
+	sw := b.words
+	dw := dst.words
+	for i, w := range sw {
+		dw[len(sw)-1-i] = bits.Reverse64(w)
+	}
+	// The reversal of the zero-padded 64·W-bit string carries the true
+	// n-bit reversal in its high bits; shift the padding out.
+	if pad := uint(len(sw)*wordBits - b.n); pad != 0 {
+		for i := 0; i < len(dw)-1; i++ {
+			dw[i] = dw[i]>>pad | dw[i+1]<<(wordBits-pad)
+		}
+		dw[len(dw)-1] >>= pad
+	}
+}
+
+// Reverse returns the bit-reversal of b as a fresh vector.
+func (b BitVec) Reverse() BitVec {
+	r := New(b.n)
+	b.ReverseInto(r)
+	return r
+}
+
 // String renders the vector as a bit string, position 0 first. Eight
 // positions are rendered per step by spreading one byte of the word into
 // eight '0'/'1' bytes with a mask-and-carry trick.

@@ -1,0 +1,86 @@
+package bitvec
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestWindowFromWordsMatchesWindowInto(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, total := range []int{1, 63, 64, 65, 127, 128, 129, 250} {
+		src := Random(total, rng.Uint64)
+		// Pad the word slice beyond the vector to check the in-range word
+		// handling (WindowFromWords sees raw words, not a width).
+		words := append(append([]uint64(nil), src.Words()...), rng.Uint64())
+		for _, width := range []int{0, 1, 63, 64, 65, total} {
+			if width > total {
+				continue
+			}
+			for _, off := range []int{0, 1, 31, 63, 64, 65, total - width} {
+				if off < 0 || off+width > total {
+					continue
+				}
+				want := New(width)
+				src.WindowInto(off, want)
+				got := New(width)
+				WindowFromWords(words, off, got)
+				if !got.Equal(want) {
+					t.Fatalf("total=%d off=%d width=%d: got %s want %s", total, off, width, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowFromWordsPanics(t *testing.T) {
+	mustPanicWR := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanicWR("negative offset", func() { WindowFromWords(make([]uint64, 2), -1, New(8)) })
+	mustPanicWR("past end", func() { WindowFromWords(make([]uint64, 1), 60, New(8)) })
+}
+
+func TestReverse(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", ""},
+		{"1", "1"},
+		{"10", "01"},
+		{"1011001", "1001101"},
+	} {
+		if got := FromString(tc.in).Reverse().String(); got != tc.want {
+			t.Fatalf("Reverse(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, n := range []int{1, 2, 63, 64, 65, 127, 128, 129, 300} {
+		v := Random(n, rng.Uint64)
+		r := v.Reverse()
+		for i := 0; i < n; i++ {
+			if r.Get(i) != v.Get(n-1-i) {
+				t.Fatalf("n=%d: reversed bit %d mismatch", n, i)
+			}
+		}
+		// Involution, and the excess-bits invariant must hold on the result.
+		if !r.Reverse().Equal(v) {
+			t.Fatalf("n=%d: double reversal is not the identity", n)
+		}
+		if rr := r.Clone(); !rr.Equal(r) || r.PopCount() != v.PopCount() {
+			t.Fatalf("n=%d: reversal corrupted the word invariant", n)
+		}
+	}
+}
+
+func TestReverseIntoPanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(8).ReverseInto(New(9))
+}

@@ -45,15 +45,11 @@ func (p poly128) shl(k int) poly128 {
 	}
 }
 
-// clmul returns the carry-less (GF(2)) product of two 64-bit polynomials.
+// clmul returns the carry-less (GF(2)) product of two 64-bit polynomials,
+// via the public word kernel (see clmul.go).
 func clmul(a, b uint64) poly128 {
-	var r poly128
-	for a != 0 {
-		i := bits.TrailingZeros64(a)
-		a &= a - 1
-		r = r.xor(poly128{lo: b}.shl(i))
-	}
-	return r
+	hi, lo := Clmul64(a, b)
+	return poly128{hi: hi, lo: lo}
 }
 
 // mod reduces p modulo f (degree df ≥ 1), returning a polynomial of degree

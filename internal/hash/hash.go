@@ -69,9 +69,18 @@ type Family interface {
 }
 
 // Linear is a hash function of the form h(x) = Ax + b over GF(2).
+//
+// Toeplitz draws additionally carry a packed-diagonal carry-less-multiply
+// kernel (see toeplitz.go) that EvalInto dispatches to; it realizes
+// exactly the same function as the matrix form, which stays materialised
+// for the XOR-constraint consumers (ZeroPrefixSystem and friends).
+// Linears are immutable after Draw and safe for concurrent evaluation.
 type Linear struct {
 	A *gf2.Matrix
 	B bitvec.BitVec
+	// toep, when non-nil, evaluates Ax as a GF(2) polynomial multiply
+	// against the packed Toeplitz diagonal instead of per-row dot products.
+	toep *toepKernel
 }
 
 // NewLinear wraps a matrix and offset as a hash function.
@@ -90,8 +99,14 @@ func (l *Linear) Eval(x bitvec.BitVec) bitvec.BitVec {
 }
 
 // EvalInto computes Ax + b into dst (caller-owned, width OutBits()),
-// allocation-free.
+// allocation-free. Toeplitz draws take the carry-less-multiply kernel —
+// O(n/64) word multiplies instead of m per-row dot products — and other
+// families the row sweep; both realize the identical function.
 func (l *Linear) EvalInto(x, dst bitvec.BitVec) {
+	if l.toep != nil {
+		l.toep.evalInto(x, dst, l.B)
+		return
+	}
 	l.A.MulVecInto(x, dst)
 	dst.XorInPlace(l.B)
 }
@@ -103,12 +118,18 @@ func (l *Linear) InBits() int { return l.A.Cols() }
 func (l *Linear) OutBits() int { return l.A.Rows() }
 
 // Prefix returns the m-th prefix slice h_m, consisting of the first m
-// output bits: h_m(x) = A_m·x + b_m where A_m keeps the first m rows.
+// output bits: h_m(x) = A_m·x + b_m where A_m keeps the first m rows. A
+// Toeplitz kernel survives the slice (the prefix reads a truncation of
+// the packed diagonal).
 func (l *Linear) Prefix(m int) *Linear {
 	if m > l.A.Rows() {
 		panic("hash: prefix longer than output")
 	}
-	return &Linear{A: l.A.SubMatrix(m), B: l.B.Prefix(m)}
+	p := &Linear{A: l.A.SubMatrix(m), B: l.B.Prefix(m)}
+	if l.toep != nil {
+		p.toep = l.toep.prefix(m, p.B)
+	}
+	return p
 }
 
 // PrefixIsZero reports whether the first m bits of h(x) are all zero,
@@ -177,14 +198,19 @@ func NewToeplitz(n, m int) Toeplitz { return Toeplitz{n: n, m: m} }
 // Note the diagonal string maps to a *different* matrix than before, so a
 // fixed seed realizes different hash functions than pre-rewrite versions;
 // only the distribution, not the per-seed draw, is preserved. Each row is
-// materialized with one word-parallel window copy.
+// materialized with one word-parallel window copy, and the diagonal is
+// retained in packed-polynomial form so EvalInto runs as a carry-less
+// multiply (see toeplitz.go); the kernel and the matrix realize the same
+// function, so draws stay bit-identical to the window-based construction.
 func (t Toeplitz) Draw(next func() uint64) Func {
 	diag := bitvec.Random(t.n+t.m-1, next)
 	a, rows := gf2.NewSlabMatrix(t.m, t.n)
 	for i := 0; i < t.m; i++ {
 		diag.WindowInto(t.m-1-i, rows[i])
 	}
-	return NewLinear(a, bitvec.Random(t.m, next))
+	l := NewLinear(a, bitvec.Random(t.m, next))
+	l.toep = newToepKernel(t.n, t.m, diag, l.B)
+	return l
 }
 
 // InBits returns n.

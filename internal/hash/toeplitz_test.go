@@ -1,0 +1,192 @@
+package hash
+
+import (
+	"fmt"
+	"testing"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/stats"
+)
+
+// slowCopy strips the carry-less kernel off a Toeplitz draw, leaving the
+// per-row dot-product path over the same A and b — the reference the
+// CLMUL path must match bit for bit.
+func slowCopy(l *Linear) *Linear { return NewLinear(l.A, l.B) }
+
+// probeInputs yields a structured + random set of n-bit inputs: zero,
+// all-ones, single bits at the word boundaries, and random vectors.
+func probeInputs(n int, rng *stats.RNG) []bitvec.BitVec {
+	xs := []bitvec.BitVec{bitvec.New(n)}
+	ones := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		ones.Set(i, true)
+	}
+	xs = append(xs, ones)
+	for _, i := range []int{0, 1, 62, 63, 64, 65, n - 2, n - 1} {
+		if i < 0 || i >= n {
+			continue
+		}
+		v := bitvec.New(n)
+		v.Set(i, true)
+		xs = append(xs, v)
+	}
+	for k := 0; k < 24; k++ {
+		xs = append(xs, bitvec.Random(n, rng.Uint64))
+	}
+	return xs
+}
+
+// TestToeplitzClmulMatchesDotRowEdges runs the CLMUL path against the
+// per-row path across the width grid straddling the word boundaries —
+// n, m ∈ {1, 63, 64, 65, 127} — for EvalInto, Eval, the Uint64Hash
+// adapter, and prefix slices.
+func TestToeplitzClmulMatchesDotRowEdges(t *testing.T) {
+	widths := []int{1, 63, 64, 65, 127}
+	rng := stats.NewRNG(99)
+	for _, n := range widths {
+		for _, m := range widths {
+			t.Run(fmt.Sprintf("n=%d/m=%d", n, m), func(t *testing.T) {
+				f := NewToeplitz(n, m).Draw(rng.Uint64).(*Linear)
+				if f.toep == nil {
+					t.Fatalf("kernel not attached for n=%d m=%d", n, m)
+				}
+				slow := slowCopy(f)
+				fast := bitvec.New(m)
+				want := bitvec.New(m)
+				u64, haveU64 := AsUint64Hash(f)
+				if (n <= 64 && m <= 64) != haveU64 {
+					t.Fatalf("AsUint64Hash availability = %v, want %v", haveU64, n <= 64 && m <= 64)
+				}
+				for _, x := range probeInputs(n, rng) {
+					f.EvalInto(x, fast)
+					slow.EvalInto(x, want)
+					if !fast.Equal(want) {
+						t.Fatalf("EvalInto(%s) = %s, want %s", x, fast, want)
+					}
+					if got := f.Eval(x); !got.Equal(want) {
+						t.Fatalf("Eval(%s) = %s, want %s", x, got, want)
+					}
+					if haveU64 {
+						if got, wantU := u64.EvalUint64(x.Uint64()), want.Uint64(); got != wantU {
+							t.Fatalf("EvalUint64(%s) = %#x, want %#x", x, got, wantU)
+						}
+					}
+				}
+				// Prefix slices keep a (truncated) kernel and must agree too.
+				for _, mp := range []int{1, m / 2, m - 1, m} {
+					if mp < 1 {
+						continue
+					}
+					pf := f.Prefix(mp)
+					ps := slow.Prefix(mp)
+					if mp > 0 && pf.toep == nil {
+						t.Fatalf("prefix(%d) dropped the kernel", mp)
+					}
+					pFast := bitvec.New(mp)
+					pWant := bitvec.New(mp)
+					for k := 0; k < 8; k++ {
+						x := bitvec.Random(n, rng.Uint64)
+						pf.EvalInto(x, pFast)
+						ps.EvalInto(x, pWant)
+						if !pFast.Equal(pWant) {
+							t.Fatalf("prefix(%d).EvalInto(%s) = %s, want %s", mp, x, pFast, pWant)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestToeplitzClmulMatchesWindowDraw1kSeeds quick-checks that for a
+// thousand seeded draws (random small shapes), the CLMUL representation
+// realizes the identical function to the window-based matrix draw.
+func TestToeplitzClmulMatchesWindowDraw1kSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 1000; seed++ {
+		shapeRng := stats.NewRNG(seed * 0x9e3779b9)
+		n := 1 + int(shapeRng.Uint64n(96))
+		m := 1 + int(shapeRng.Uint64n(96))
+		f := NewToeplitz(n, m).Draw(stats.NewRNG(seed).Uint64).(*Linear)
+		if f.toep == nil {
+			t.Fatalf("seed %d: kernel not attached for n=%d m=%d", seed, n, m)
+		}
+		slow := slowCopy(f)
+		fast := bitvec.New(m)
+		want := bitvec.New(m)
+		for k := 0; k < 4; k++ {
+			x := bitvec.Random(n, shapeRng.Uint64)
+			f.EvalInto(x, fast)
+			slow.EvalInto(x, want)
+			if !fast.Equal(want) {
+				t.Fatalf("seed %d n=%d m=%d: EvalInto(%s) = %s, want %s", seed, n, m, x, fast, want)
+			}
+		}
+	}
+}
+
+// TestToeplitzWideDrawFallsBack checks that draws too wide for the stack
+// product buffer quietly keep the per-row path and still evaluate
+// correctly.
+func TestToeplitzWideDrawFallsBack(t *testing.T) {
+	rng := stats.NewRNG(7)
+	n, m := 200, 400 // ⌈599/64⌉ + ⌈200/64⌉ = 14 words > toepMaxWords
+	f := NewToeplitz(n, m).Draw(rng.Uint64).(*Linear)
+	if f.toep != nil {
+		t.Fatal("expected wide draw to skip the kernel")
+	}
+	x := bitvec.Random(n, rng.Uint64)
+	y := f.Eval(x)
+	for i := 0; i < m; i++ {
+		if want := f.A.Row(i).Dot(x) != f.B.Get(i); y.Get(i) != want {
+			t.Fatalf("bit %d mismatch on fallback path", i)
+		}
+	}
+	// Large-but-attachable shapes exercise the generic stack-buffer path
+	// (multi-word input and diagonal).
+	n, m = 130, 180 // ⌈309/64⌉ + ⌈130/64⌉ = 8 words = toepMaxWords
+	f = NewToeplitz(n, m).Draw(rng.Uint64).(*Linear)
+	if f.toep == nil {
+		t.Fatal("expected kernel on 8-word shape")
+	}
+	slow := slowCopy(f)
+	fast := bitvec.New(m)
+	want := bitvec.New(m)
+	for _, x := range probeInputs(n, rng) {
+		f.EvalInto(x, fast)
+		slow.EvalInto(x, want)
+		if !fast.Equal(want) {
+			t.Fatalf("generic path EvalInto(%s) = %s, want %s", x, fast, want)
+		}
+	}
+}
+
+// TestAsUint64Hash pins the adapter contract: pass-through for native
+// implementors, adapters only for ≤64-bit linear shapes, agreement with
+// Eval on every family.
+func TestAsUint64Hash(t *testing.T) {
+	rng := stats.NewRNG(13)
+	poly := NewPoly(24, 4).Draw(rng.Uint64)
+	if u, ok := AsUint64Hash(poly); !ok || u != poly.(Uint64Hash) {
+		t.Fatal("polynomial family must pass through unchanged")
+	}
+	if _, ok := AsUint64Hash(NewToeplitz(32, 96).Draw(rng.Uint64)); ok {
+		t.Fatal("m > 64 must not claim an integer path")
+	}
+	if _, ok := AsUint64Hash(NewXor(96, 32).Draw(rng.Uint64)); ok {
+		t.Fatal("n > 64 must not claim an integer path")
+	}
+	for _, fam := range []Family{NewToeplitz(24, 24), NewXor(24, 24), NewSparse(24, 24, 0.2)} {
+		f := fam.Draw(rng.Uint64)
+		u, ok := AsUint64Hash(f)
+		if !ok {
+			t.Fatalf("%s: expected integer path", fam.Name())
+		}
+		for k := 0; k < 200; k++ {
+			v := rng.Uint64n(1 << 24)
+			want := f.Eval(bitvec.FromUint64(v, 24)).Uint64()
+			if got := u.EvalUint64(v); got != want {
+				t.Fatalf("%s: EvalUint64(%#x) = %#x, want %#x", fam.Name(), v, got, want)
+			}
+		}
+	}
+}

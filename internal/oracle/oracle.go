@@ -12,6 +12,23 @@
 //     validate the other two and to answer queries (like Proposition 3's
 //     trailing-zero oracle over DNF inputs) with no known efficient
 //     implementation.
+//
+// # Concurrency contract
+//
+// A Source is single-threaded: it carries a query meter and (for CNF) an
+// incremental SAT solver, both mutated by every call. Parallel trial loops
+// must not share one handle; they call Fork, which returns an independent
+// handle with its own meter and solver state — immutable inputs (the
+// parsed formula, the materialised solution list of Exhaustive) are shared
+// structurally, mutable state is never. The counting layer forks once per
+// trial before fan-out and aggregates meters after the join, in trial
+// order, so query counts are deterministic at every parallelism level.
+// CNFSource keeps one incremental solver per handle across a trial's whole
+// hash-cell sweep (rows installed once behind activation selectors and
+// enabled by assumption), which is why sharing a handle across goroutines
+// is unsafe even for "read-only" queries: every query schedules solver
+// work. Scratch vectors passed to the hash helpers (EvalTrailingZeros)
+// are caller-owned per the bitvec destination-passing contract.
 package oracle
 
 import (
@@ -471,7 +488,7 @@ func (e *Exhaustive) solutions() []bitvec.BitVec {
 func (e *Exhaustive) ExistsTrailingZeros(h hash.Func, t int) bool {
 	e.queries++
 	e.solutions()
-	if u, ok := h.(hash.Uint64Hash); ok {
+	if u, ok := hash.AsUint64Hash(h); ok {
 		for _, v := range e.solsVal {
 			if trailingZerosValue(u.EvalUint64(v), h.OutBits()) >= t {
 				return true
@@ -496,7 +513,7 @@ func (e *Exhaustive) MaxTrailingZeros(h hash.Func) int {
 	e.queries++
 	e.solutions()
 	best := -1
-	if u, ok := h.(hash.Uint64Hash); ok {
+	if u, ok := hash.AsUint64Hash(h); ok {
 		for _, v := range e.solsVal {
 			if tz := trailingZerosValue(u.EvalUint64(v), h.OutBits()); tz > best {
 				best = tz

@@ -10,6 +10,26 @@
 //
 // Keeping both in one place means pool semantics — assignment order, panic
 // propagation, future cancellation — are fixed once.
+//
+// # Concurrency contract
+//
+// Run and RunSharded block until every index has been processed and are
+// themselves safe to call from multiple goroutines (each call spins up its
+// own transient workers; there is no shared pool state). Within one call,
+// fn runs concurrently for different indices, so fn must only touch state
+// owned by its index (Run) or its shard (RunSharded).
+//
+// Scratch ownership follows the shard, not the goroutine: RunSharded
+// guarantees that shard s is driven by exactly one worker for the duration
+// of the call, so scratch obtained from ShardScratch(workers, mk)[s] is
+// touched by one goroutine at a time and can be reused across calls
+// without synchronisation. The shard→index assignment is a pure function
+// of (count, workers) — never of scheduling — which is one half of the
+// repository's determinism invariant; the other half is that callers
+// pre-draw any randomness serially, keyed by index. Under that discipline
+// results are bit-identical for every workers value, including 1 (callers
+// may special-case workers == 1 to skip dispatch entirely; the assignment
+// makes the two paths indistinguishable).
 package par
 
 import (

@@ -32,7 +32,20 @@
 //     returns — the substrate for reusing one solver across the model
 //     counters' hash-cell queries via activation selectors.
 //
-// The solver is not safe for concurrent use.
+// # Concurrency contract
+//
+// A Solver is strictly single-goroutine: every entry point (AddClause,
+// AddXOR, Solve, EnumerateBlocking, Simplify) mutates the arena, the
+// trail, and the heap, and nothing is locked. There is no Fork either —
+// isolation lives one layer up, where oracle.CNFSource forks per trial by
+// rebuilding a solver from the immutable formula. Model callbacks run on
+// the calling goroutine and receive a scratch assignment vector owned by
+// the solver, valid only for the duration of the callback (clone to keep).
+// Given the same sequence of calls, the solver is fully deterministic:
+// decisions, restarts, and learned-clause deletion depend only on the
+// input sequence, never on time or scheduling — the property the
+// fixed-seed regression suites and the differential harness
+// (diff_test.go) lean on.
 package sat
 
 import (

@@ -21,6 +21,21 @@
 //
 // The package also implements the weighted-#DNF → d-dimensional-range
 // reduction of Section 5.
+//
+// # Concurrency contract
+//
+// Streams are single-writer: one goroutine drives ProcessDNF/ProcessRange/
+// …/Estimate; the batch entry points reject or absorb a whole chunk
+// atomically (validation happens before any copy mutates). Inside a call
+// the per-copy FindMin work runs on the dynamic pool (per-copy cost is
+// heterogeneous — SAT calls, image searches — so copies are not block-
+// sharded), but each copy's minima and hash belong to exactly one task, so
+// no copy state is shared between workers. CNF items build their per-
+// (item, copy) oracles lazily inside the worker, bounding live solvers by
+// the pool width; their query meters are summed in deterministic
+// (item, copy) order after the join. Randomness is pre-drawn serially at
+// construction, keyed by copy index — fixed-seed estimates are
+// bit-identical at every Parallelism value and under any batching.
 package setstream
 
 import (

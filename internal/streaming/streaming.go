@@ -22,6 +22,22 @@
 // never by worker, so fixed-seed estimates are bit-identical at every
 // parallelism level and ProcessBatch leaves every copy in exactly the
 // state element-at-a-time Process would.
+//
+// # Concurrency contract
+//
+// Sketches are single-writer: Process, ProcessBatch, and Estimate must be
+// driven by one goroutine at a time (callers batching from many producers
+// serialise upstream). Parallelism happens inside a ProcessBatch call,
+// where the copies fan out across the shard pool; a copy — and therefore
+// its hash function and its mutable cell/minima/counter state — is only
+// ever touched by the one worker its shard maps to. Per-shard scratch
+// (hash-output buffers) is allocated with par.ShardScratch and owned by
+// the shard for the duration of one dispatch; batch-conversion scratch
+// (fingerprints, integer forms) is written before fan-out and read-only
+// inside it. Hash functions themselves are immutable after Draw (the
+// Toeplitz carry-less kernel carries no evaluation scratch), so sharing
+// one across shards would also be safe — the per-copy ownership is what
+// makes the *mutable* sketch state race-free.
 package streaming
 
 import (
@@ -429,7 +445,7 @@ func NewEstimation(n int, opts Options) *Estimation {
 		for j := 0; j < thresh; j++ {
 			h := fam.Draw(rng.Uint64)
 			row = append(row, h)
-			if u, ok := h.(hash.Uint64Hash); ok {
+			if u, ok := hash.AsUint64Hash(h); ok {
 				urow = append(urow, u)
 			} else {
 				allU64 = false
@@ -557,11 +573,15 @@ func (e *Estimation) SketchWords() int { return len(e.s) * e.thresh }
 // 2^r, a factor-5 approximation of F0 with probability 3/5 (Alon–Matias–
 // Szegedy). The median over Iterations copies is reported.
 type FlajoletMartin struct {
-	hs  []*hash.Linear
+	hs []*hash.Linear
+	// u64 mirrors hs via the integer fast path (hash.AsUint64Hash) when
+	// every copy supports it — always the case for n ≤ 64; nil otherwise.
+	u64 []hash.Uint64Hash
 	max []int
 	eng engine
-	// scratch holds one hash-output buffer per pool shard.
+	// scratch holds one hash-output buffer per pool shard (generic path).
 	scratch []bitvec.BitVec
+	xvs     []uint64 // batch integer-conversion scratch
 	one     [1]bitvec.BitVec
 }
 
@@ -573,9 +593,19 @@ func NewFlajoletMartin(n int, opts Options) *FlajoletMartin {
 		eng:     newEngine(opts.Parallelism, minBatchCheap),
 		scratch: par.ShardScratch(opts.parallelism(), func() bitvec.BitVec { return bitvec.New(n) }),
 	}
+	allU64 := true
 	for i := 0; i < opts.iterations(); i++ {
-		f.hs = append(f.hs, fam.Draw(rng.Uint64).(*hash.Linear))
+		h := fam.Draw(rng.Uint64).(*hash.Linear)
+		f.hs = append(f.hs, h)
+		if u, ok := hash.AsUint64Hash(h); ok {
+			f.u64 = append(f.u64, u)
+		} else {
+			allU64 = false
+		}
 		f.max = append(f.max, -1)
+	}
+	if !allU64 {
+		f.u64 = nil
 	}
 	return f
 }
@@ -592,6 +622,26 @@ func (f *FlajoletMartin) ProcessBatch(xs []bitvec.BitVec) {
 	if len(xs) == 0 {
 		return
 	}
+	if f.u64 != nil {
+		// Integer fast path: convert each x once, then every copy is one
+		// EvalUint64 (a carry-less multiply or single-word row sweep) plus
+		// a trailing-zeros instruction.
+		if cap(f.xvs) < len(xs) {
+			f.xvs = make([]uint64, len(xs))
+		}
+		xvs := f.xvs[:len(xs)]
+		for k, x := range xs {
+			xvs[k] = x.Uint64()
+		}
+		if f.eng.serial(len(xs)) {
+			for i := range f.u64 {
+				f.absorbCopyU64(i, xvs)
+			}
+			return
+		}
+		f.eng.run(len(f.hs), func(i, _ int) { f.absorbCopyU64(i, xvs) })
+		return
+	}
 	if f.eng.serial(len(xs)) {
 		for i := range f.hs {
 			f.absorbCopy(i, xs, f.scratch[0])
@@ -599,6 +649,23 @@ func (f *FlajoletMartin) ProcessBatch(xs []bitvec.BitVec) {
 		return
 	}
 	f.eng.run(len(f.hs), func(i, shard int) { f.absorbCopy(i, xs, f.scratch[shard]) })
+}
+
+// absorbCopyU64 folds a converted batch into copy i's counter.
+func (f *FlajoletMartin) absorbCopyU64(i int, xvs []uint64) {
+	u := f.u64[i]
+	n := f.hs[i].OutBits()
+	best := f.max[i]
+	for _, v := range xvs {
+		tz := n
+		if y := u.EvalUint64(v); y != 0 {
+			tz = bits.TrailingZeros64(y)
+		}
+		if tz > best {
+			best = tz
+		}
+	}
+	f.max[i] = best
 }
 
 // absorbCopy folds a batch into copy i's max-trailing-zeros counter.
