@@ -535,6 +535,42 @@ func BenchmarkSATSolver(b *testing.B) {
 	}
 }
 
+// BenchmarkSystemRewind isolates the PR-5 tentpole primitive: one
+// mark/extend/rewind cycle (16 rows) on a persistent half-rank system,
+// against the clone-and-replay it replaces. The rewind path recycles rows
+// through the system's pool, so steady state is allocation-free.
+func BenchmarkSystemRewind(b *testing.B) {
+	rng := stats.NewRNG(27)
+	for _, n := range []int{64, 256} {
+		base := gf2.NewSystem(n)
+		rows := make([]bitvec.BitVec, n)
+		for i := range rows {
+			rows[i] = bitvec.Random(n, rng.Uint64)
+		}
+		for i := 0; i < n/2; i++ {
+			base.Add(rows[i], i%2 == 0)
+		}
+		const extend = 16
+		b.Run(fmt.Sprintf("rewind/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cp := base.Mark()
+				for k := 0; k < extend; k++ {
+					base.Add(rows[n/2+k], k%2 == 0)
+				}
+				base.Rewind(cp)
+			}
+		})
+		b.Run(fmt.Sprintf("clone/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := base.Clone()
+				for k := 0; k < extend; k++ {
+					sys.Add(rows[n/2+k], k%2 == 0)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGF2 times the linear-algebra kernels underlying everything.
 func BenchmarkGF2(b *testing.B) {
 	rng := stats.NewRNG(16)

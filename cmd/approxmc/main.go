@@ -88,6 +88,12 @@ func main() {
 		if st := res.Solver; st != (mcf0.SolverStats{}) {
 			fmt.Printf("c solver: decisions=%d propagations=%d conflicts=%d learned=%d deleted=%d restarts=%d\n",
 				st.Decisions, st.Propagations, st.Conflicts, st.Learned, st.Deleted, st.Restarts)
+			shrink := 0.0
+			if st.LearnedLits > 0 {
+				shrink = 100 * float64(st.MinimizedLits) / float64(st.LearnedLits)
+			}
+			fmt.Printf("c solver: learned-lits=%d minimized-lits=%d shrink=%.1f%%\n",
+				st.LearnedLits, st.MinimizedLits, shrink)
 		}
 	}
 }

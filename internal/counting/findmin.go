@@ -19,20 +19,26 @@ import (
 // The walk is pruned across terms: once p values are collected, a term's
 // successor chain is abandoned as soon as it exceeds the current p-th
 // smallest, so for large k most terms cost a single lex-min computation.
+// Each term keeps one ImageSearcher across its whole p-minima walk: the
+// searcher's rewindable system makes consecutive Successor probes cost one
+// row operation instead of a clone-and-replay of the prefix, and the
+// element buffer is reused across steps (values are cloned only when they
+// actually enter the accumulator).
 func FindMinDNF(d *formula.DNF, h *hash.Linear, p int) []bitvec.BitVec {
 	if h.InBits() != d.N {
 		panic("counting: hash input width != variable count")
 	}
 	acc := newKMinAcc(p)
+	cur := bitvec.New(h.OutBits())
 	for _, t := range d.Terms {
 		s, ok := termImageSearcher(d.N, t, h)
 		if !ok {
 			continue
 		}
-		cur, found := s.Min()
+		found := s.MinInto(cur)
 		for found && acc.candidate(cur) {
 			acc.insert(cur)
-			cur, found = s.Successor(cur)
+			found = s.SuccessorInto(cur, cur)
 		}
 	}
 	return acc.values
@@ -51,6 +57,8 @@ func (a *kMinAcc) candidate(v bitvec.BitVec) bool {
 	return len(a.values) < a.p || v.Less(a.values[len(a.values)-1])
 }
 
+// insert files v into the sorted accumulator, cloning it only when it is
+// actually retained — callers may pass a reused scratch vector.
 func (a *kMinAcc) insert(v bitvec.BitVec) {
 	idx := sort.Search(len(a.values), func(i int) bool { return !a.values[i].Less(v) })
 	if idx < len(a.values) && a.values[idx].Equal(v) {
@@ -62,7 +70,7 @@ func (a *kMinAcc) insert(v bitvec.BitVec) {
 		return
 	}
 	copy(a.values[idx+1:], a.values[idx:len(a.values)-1])
-	a.values[idx] = v
+	a.values[idx] = v.Clone()
 }
 
 // termImageSearcher builds the affine image {h(x) : x ⊨ t}: fixing the
@@ -88,7 +96,7 @@ func termImageSearcher(n int, t formula.Term, h *hash.Linear) (*gf2.ImageSearche
 // h(x) starting y₁…yₗ?" becomes one oracle query (the paper's O(p·m) NP
 // calls). It works for any Source backend, in particular CNF.
 func FindMinOracle(src oracle.Source, h *hash.Linear, p int) []bitvec.BitVec {
-	s := &oracleImageSearcher{src: src, h: h}
+	s := newOracleImageSearcher(src, h)
 	var out []bitvec.BitVec
 	cur, ok := s.lexMinWithPrefix(nil)
 	for ok && len(out) < p {
@@ -99,23 +107,33 @@ func FindMinOracle(src oracle.Source, h *hash.Linear, p int) []bitvec.BitVec {
 }
 
 // oracleImageSearcher mirrors gf2.ImageSearcher with feasibility decided by
-// the oracle instead of pure linear algebra (φ is not affine for CNF).
+// the oracle instead of pure linear algebra (φ is not affine for CNF). Like
+// its affine sibling it keeps one rewindable constraint system for the
+// whole p-minima walk, via the same gf2.PrefixStack: a feasibility probe
+// rewinds to the divergence point of its prefix and the committed one
+// instead of rebuilding the stacked system row by row. The oracle only
+// reads the system's equations during Enumerate (the gf2.System ownership
+// contract), so the pooled rows are safe to recycle between probes.
 type oracleImageSearcher struct {
 	src oracle.Source
 	h   *hash.Linear
+
+	ps        *gf2.PrefixStack
+	prefixBuf []bool
+	curBuf    []bool
+}
+
+func newOracleImageSearcher(src oracle.Source, h *hash.Linear) *oracleImageSearcher {
+	return &oracleImageSearcher{src: src, h: h, ps: gf2.NewPrefixStack(h.A, h.B, nil)}
 }
 
 // feasible reports whether some x ⊨ φ has h(x) starting with prefix.
 // Linearly inconsistent prefixes are rejected without an oracle call.
 func (s *oracleImageSearcher) feasible(prefix []bool) bool {
-	cons := gf2.NewSystem(s.h.InBits())
-	for i, bit := range prefix {
-		cons.Add(s.h.A.Row(i), bit != s.h.B.Get(i))
-		if !cons.Consistent() {
-			return false
-		}
+	if !s.ps.ExtendTo(prefix) {
+		return false
 	}
-	return s.src.Enumerate(cons, 1, func(bitvec.BitVec) bool { return true }) > 0
+	return s.src.Enumerate(s.ps.System(), 1, func(bitvec.BitVec) bool { return true }) > 0
 }
 
 func (s *oracleImageSearcher) lexMinWithPrefix(prefix []bool) (bitvec.BitVec, bool) {
@@ -123,13 +141,14 @@ func (s *oracleImageSearcher) lexMinWithPrefix(prefix []bool) (bitvec.BitVec, bo
 	if !s.feasible(prefix) {
 		return bitvec.BitVec{}, false
 	}
-	cur := append([]bool(nil), prefix...)
+	cur := append(s.curBuf[:0], prefix...)
 	for i := len(prefix); i < m; i++ {
 		cur = append(cur, false)
 		if !s.feasible(cur) {
 			cur[i] = true
 		}
 	}
+	s.curBuf = cur[:0]
 	y := bitvec.New(m)
 	for i, bit := range cur {
 		if bit {
@@ -141,20 +160,16 @@ func (s *oracleImageSearcher) lexMinWithPrefix(prefix []bool) (bitvec.BitVec, bo
 
 func (s *oracleImageSearcher) successor(y bitvec.BitVec) (bitvec.BitVec, bool) {
 	m := s.h.OutBits()
-	for r := m - 1; r >= 0; r-- {
-		if y.Get(r) {
-			continue
-		}
-		prefix := make([]bool, r+1)
-		for i := 0; i < r; i++ {
-			prefix[i] = y.Get(i)
-		}
-		prefix[r] = true
-		if next, ok := s.lexMinWithPrefix(prefix); ok {
-			return next, true
-		}
+	if cap(s.prefixBuf) < m {
+		s.prefixBuf = make([]bool, m)
 	}
-	return bitvec.BitVec{}, false
+	var next bitvec.BitVec
+	found := gf2.SuccessorPrefixes(y, s.prefixBuf[:m], func(prefix []bool) bool {
+		var ok bool
+		next, ok = s.lexMinWithPrefix(prefix)
+		return ok
+	})
+	return next, found
 }
 
 // FindMinFunc produces the p smallest hashed solutions for a given hash;

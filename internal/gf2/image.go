@@ -11,75 +11,105 @@ import "mcf0/internal/bitvec"
 // prefix-searching primitive from the proof of Proposition 2: feasibility of
 // a prefix y₁…yₗ reduces to consistency of the stacked linear system
 // A[1..l]·x = y[1..l] ⊕ b[1..l] together with cons.
+//
+// The searcher keeps one persistent System for its whole lifetime, managed
+// through a PrefixStack: prefix rows are committed with per-position
+// checkpoints and a query rewinds only to the first position where its
+// prefix diverges from the previously committed one, instead of cloning
+// the base system and replaying the prefix from scratch. Successive
+// Successor steps share all but one prefix row, so a KMin walk costs O(1)
+// row operations per prefix position probed and allocates nothing in
+// steady state (the *Into variants also reuse the caller's result vector).
+// A searcher is single-goroutine, like the System underneath.
 type ImageSearcher struct {
-	a    *Matrix
-	b    bitvec.BitVec
-	base *System
+	a  *Matrix
+	b  bitvec.BitVec
+	ps *PrefixStack
 	// scratch holds one reduced row during prefix extension so the greedy
-	// walk performs no per-row allocation.
-	scratch bitvec.BitVec
+	// walk performs no per-row allocation; prefixBuf and cur back the
+	// Successor/enumeration walks.
+	scratch   bitvec.BitVec
+	prefixBuf []bool
+	cur       bitvec.BitVec
 }
 
 // NewImageSearcher builds a searcher for the image of h(x) = Ax + b over
-// solutions of cons (may be nil).
+// solutions of cons (may be nil). The searcher takes ownership of cons: it
+// extends and rewinds the system across queries (never below the state
+// passed in), so the caller must not touch cons afterwards.
 func NewImageSearcher(a *Matrix, b bitvec.BitVec, cons *System) *ImageSearcher {
-	if b.Len() != a.Rows() {
-		panic("gf2: offset width must equal row count")
+	return &ImageSearcher{
+		a:       a,
+		b:       b,
+		ps:      NewPrefixStack(a, b, cons),
+		scratch: bitvec.New(a.Cols()),
+		cur:     bitvec.New(a.Rows()),
 	}
-	base := cons
-	if base == nil {
-		base = NewSystem(a.Cols())
-	} else if base.Cols() != a.Cols() {
-		panic("gf2: constraint system width mismatch")
-	}
-	return &ImageSearcher{a: a, b: b, base: base, scratch: bitvec.New(a.Cols())}
 }
 
 // OutBits returns the width of image elements.
 func (s *ImageSearcher) OutBits() int { return s.a.Rows() }
 
 // Empty reports whether the image is empty (constraints unsatisfiable).
-func (s *ImageSearcher) Empty() bool { return !s.base.Consistent() }
+func (s *ImageSearcher) Empty() bool { return !s.ps.BaseConsistent() }
 
-// LexMinWithPrefix returns the lexicographically smallest element of the
-// image whose first len(prefix) bits equal prefix, and whether one exists.
-func (s *ImageSearcher) LexMinWithPrefix(prefix []bool) (bitvec.BitVec, bool) {
+// LexMinWithPrefixInto writes the lexicographically smallest image element
+// whose first len(prefix) bits equal prefix into dst (caller-owned, width
+// OutBits, fully overwritten) and reports whether one exists — the
+// allocation-free form of LexMinWithPrefix. On false, dst's contents are
+// unspecified.
+func (s *ImageSearcher) LexMinWithPrefixInto(prefix []bool, dst bitvec.BitVec) bool {
 	m := s.a.Rows()
 	if len(prefix) > m {
 		panic("gf2: prefix longer than image width")
 	}
-	sys := s.base.Clone()
-	if !sys.Consistent() {
-		return bitvec.BitVec{}, false
+	if dst.Len() != m {
+		panic("gf2: destination width mismatch")
 	}
-	y := bitvec.New(m)
+	if !s.ps.ExtendTo(prefix) {
+		return false
+	}
+	dw := dst.Words()
+	for i := range dw {
+		dw[i] = 0
+	}
 	for i, bit := range prefix {
-		sys.Add(s.a.Row(i), bit != s.b.Get(i))
-		if !sys.Consistent() {
-			return bitvec.BitVec{}, false
-		}
 		if bit {
-			y.Set(i, true)
+			dst.Set(i, true)
 		}
 	}
 	// Greedily extend: prefer yᵢ = 0; the residual tells us when the value
 	// is forced. Reducing (Aᵢ, bᵢ) gives the rhs that corresponds to yᵢ=0;
 	// if the reduced row is zero the only consistent choice is yᵢ = t ⊕ bᵢ
-	// where t is the reduced rhs of the homogeneous attempt.
+	// where t is the reduced rhs of the homogeneous attempt. Every chosen
+	// bit is committed with its own checkpoint, so a following Successor
+	// query rewinds straight to its flip position.
+	sys := s.ps.System()
 	for i := len(prefix); i < m; i++ {
 		row := s.a.Row(i)
 		rr := sys.ResidualInto(row, s.b.Get(i), s.scratch) // rhs for yᵢ = 0
 		if s.scratch.IsZero() {
 			// yᵢ forced: consistent value flips rr to false.
 			if rr {
-				y.Set(i, true)
+				dst.Set(i, true)
 			}
+			s.ps.CommitForced(rr)
 			continue
 		}
 		// Row independent: both values feasible, take 0 and commit the
-		// already-reduced residual (AddPrereduced copies it, so the scratch
-		// stays reusable).
-		sys.AddPrereduced(s.scratch, rr)
+		// already-reduced residual (CommitResidual copies it, so the
+		// scratch stays reusable).
+		s.ps.CommitResidual(false, s.scratch, rr)
+	}
+	return true
+}
+
+// LexMinWithPrefix returns the lexicographically smallest element of the
+// image whose first len(prefix) bits equal prefix, and whether one exists.
+func (s *ImageSearcher) LexMinWithPrefix(prefix []bool) (bitvec.BitVec, bool) {
+	y := bitvec.New(s.a.Rows())
+	if !s.LexMinWithPrefixInto(prefix, y) {
+		return bitvec.BitVec{}, false
 	}
 	return y, true
 }
@@ -89,55 +119,100 @@ func (s *ImageSearcher) Min() (bitvec.BitVec, bool) {
 	return s.LexMinWithPrefix(nil)
 }
 
-// Successor returns the smallest image element strictly greater than y, and
-// whether one exists. It follows the paper's strategy: walk the rightmost
-// zeros of y, trying to extend prefix y₁…y_{r-1}·1 for each zero position r
-// from right to left.
-func (s *ImageSearcher) Successor(y bitvec.BitVec) (bitvec.BitVec, bool) {
+// MinInto writes the lexicographically smallest image element into dst and
+// reports whether the image is nonempty.
+func (s *ImageSearcher) MinInto(dst bitvec.BitVec) bool {
+	return s.LexMinWithPrefixInto(nil, dst)
+}
+
+// SuccessorInto writes the smallest image element strictly greater than y
+// into dst (caller-owned, width OutBits) and reports whether one exists.
+// dst may alias y: y's bits are copied out before dst is written. It
+// follows the paper's strategy — walk the rightmost zeros of y, trying to
+// extend prefix y₁…y_{r-1}·1 for each zero position r from right to left.
+// When y is the element a preceding LexMin/Successor call produced, each
+// probe costs one row operation: the walk's bits are committed with
+// per-position checkpoints, so the searcher rewinds exactly to the flip
+// position.
+func (s *ImageSearcher) SuccessorInto(y, dst bitvec.BitVec) bool {
 	m := s.a.Rows()
 	if y.Len() != m {
 		panic("gf2: successor width mismatch")
 	}
-	for r := m - 1; r >= 0; r-- {
-		if y.Get(r) {
-			continue
-		}
-		prefix := make([]bool, r+1)
-		for i := 0; i < r; i++ {
-			prefix[i] = y.Get(i)
-		}
-		prefix[r] = true
-		if next, ok := s.LexMinWithPrefix(prefix); ok {
-			return next, true
-		}
+	if dst.Len() != m {
+		panic("gf2: destination width mismatch")
 	}
-	return bitvec.BitVec{}, false
+	if cap(s.prefixBuf) < m {
+		s.prefixBuf = make([]bool, m)
+	}
+	return SuccessorPrefixes(y, s.prefixBuf[:m], func(prefix []bool) bool {
+		return s.LexMinWithPrefixInto(prefix, dst)
+	})
+}
+
+// Successor returns the smallest image element strictly greater than y, and
+// whether one exists.
+func (s *ImageSearcher) Successor(y bitvec.BitVec) (bitvec.BitVec, bool) {
+	next := bitvec.New(s.a.Rows())
+	if !s.SuccessorInto(y, next) {
+		return bitvec.BitVec{}, false
+	}
+	return next, true
+}
+
+// EnumerateImage visits image elements in increasing lexicographic order,
+// up to limit of them (limit < 0 means all; beware 2^rank image sizes).
+// visit returning false stops the walk early; the walk's count is returned.
+// The vector passed to visit is scratch owned by the searcher, valid only
+// for the duration of the callback — Clone it to retain.
+func (s *ImageSearcher) EnumerateImage(limit int, visit func(bitvec.BitVec) bool) int {
+	if limit == 0 {
+		return 0
+	}
+	count := 0
+	ok := s.MinInto(s.cur)
+	for ok {
+		count++
+		if !visit(s.cur) {
+			break
+		}
+		if limit >= 0 && count >= limit {
+			break
+		}
+		ok = s.SuccessorInto(s.cur, s.cur)
+	}
+	return count
 }
 
 // KMin returns the k lexicographically smallest elements of the image in
-// increasing order (fewer if the image is smaller).
+// increasing order (fewer if the image is smaller); k ≤ 0 yields none. The
+// returned vectors are freshly allocated and independent of the searcher.
 func (s *ImageSearcher) KMin(k int) []bitvec.BitVec {
-	var out []bitvec.BitVec
-	cur, ok := s.Min()
-	for ok && len(out) < k {
-		out = append(out, cur)
-		cur, ok = s.Successor(cur)
+	if k <= 0 {
+		return nil
 	}
+	var out []bitvec.BitVec
+	s.EnumerateImage(k, func(y bitvec.BitVec) bool {
+		out = append(out, y.Clone())
+		return true
+	})
 	return out
 }
 
-// Contains reports whether y is in the image.
+// Contains reports whether y is in the image. Membership is feasibility of
+// the full-length prefix y, so the check shares the rewind machinery (and
+// its cost profile) with LexMinWithPrefix.
 func (s *ImageSearcher) Contains(y bitvec.BitVec) bool {
 	m := s.a.Rows()
 	if y.Len() != m {
 		panic("gf2: width mismatch")
 	}
-	sys := s.base.Clone()
-	for i := 0; i < m; i++ {
-		sys.Add(s.a.Row(i), y.Get(i) != s.b.Get(i))
-		if !sys.Consistent() {
-			return false
-		}
+	if cap(s.prefixBuf) < m {
+		s.prefixBuf = make([]bool, m)
 	}
-	return true
+	buf := s.prefixBuf[:m]
+	for i := 0; i < m; i++ {
+		buf[i] = y.Get(i)
+	}
+	return s.ps.ExtendTo(buf)
 }

@@ -1,0 +1,293 @@
+package gf2
+
+import (
+	"fmt"
+	"testing"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/stats"
+)
+
+// rewindWidths straddle every word-boundary shape the elimination kernels
+// special-case.
+var rewindWidths = []int{1, 7, 31, 63, 64, 65, 127, 128, 130}
+
+// systemsEqual compares the observable state of two systems: consistency,
+// rank, and the full echelon basis (rows and right-hand sides).
+func systemsEqual(t *testing.T, got, want *System) {
+	t.Helper()
+	if got.Consistent() != want.Consistent() {
+		t.Fatalf("consistency mismatch: got %v want %v", got.Consistent(), want.Consistent())
+	}
+	if got.Rank() != want.Rank() {
+		t.Fatalf("rank mismatch: got %d want %d", got.Rank(), want.Rank())
+	}
+	ge, we := got.Equations(), want.Equations()
+	for i := range ge {
+		if !ge[i].A.Equal(we[i].A) || ge[i].RHS != we[i].RHS {
+			t.Fatalf("basis row %d mismatch:\n got %v = %v\nwant %v = %v",
+				i, ge[i].A, ge[i].RHS, we[i].A, we[i].RHS)
+		}
+	}
+}
+
+// TestQuickMarkRewindVsClone drives random interleavings of Add,
+// AddPrereduced, Mark, and Rewind, comparing the rewound system against a
+// Clone snapshot taken at the matching Mark. Rows are drawn to hit every
+// insertion outcome: fresh pivots, dependent rows (zero residual), and
+// contradictions (inconsistency set and later rewound away).
+func TestQuickMarkRewindVsClone(t *testing.T) {
+	for _, w := range rewindWidths {
+		w := w
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < 30; seed++ {
+				rng := stats.NewRNG(0x7e317d<<8 ^ seed<<4 ^ uint64(w))
+				sys := NewSystem(w)
+				type snap struct {
+					cp  Checkpoint
+					ref *System
+				}
+				stack := []snap{{sys.Mark(), sys.Clone()}}
+				var added []bitvec.BitVec
+				scratch := bitvec.New(w)
+				for step := 0; step < 80; step++ {
+					switch rng.Intn(6) {
+					case 0, 1: // fresh random row
+						a := bitvec.Random(w, rng.Uint64)
+						added = append(added, a)
+						sys.Add(a, rng.Bool())
+					case 2: // replay an earlier row, possibly contradicting
+						if len(added) == 0 {
+							continue
+						}
+						sys.Add(added[rng.Intn(len(added))], rng.Bool())
+					case 3: // prereduced insertion via ResidualInto
+						a := bitvec.Random(w, rng.Uint64)
+						added = append(added, a)
+						rr := sys.ResidualInto(a, rng.Bool(), scratch)
+						sys.AddPrereduced(scratch, rr)
+					case 4: // push a checkpoint + reference snapshot
+						stack = append(stack, snap{sys.Mark(), sys.Clone()})
+					case 5: // rewind to a random earlier checkpoint
+						i := rng.Intn(len(stack))
+						sys.Rewind(stack[i].cp)
+						stack = stack[:i+1]
+						systemsEqual(t, sys, stack[i].ref)
+					}
+				}
+				sys.Rewind(stack[0].cp)
+				systemsEqual(t, sys, stack[0].ref)
+				if sys.Rank() != 0 || !sys.Consistent() {
+					t.Fatalf("full rewind left rank %d consistent %v", sys.Rank(), sys.Consistent())
+				}
+				// The rewound system must still eliminate correctly: re-add
+				// everything and compare against a from-scratch build.
+				fresh := NewSystem(w)
+				for i, a := range added {
+					rhs := i%2 == 0
+					sys.Add(a, rhs)
+					fresh.Add(a, rhs)
+				}
+				systemsEqual(t, sys, fresh)
+			}
+		})
+	}
+}
+
+// TestRewindStaleCheckpointPanics pins the misuse contract: rewinding to a
+// checkpoint that was invalidated by an earlier deeper Rewind panics —
+// both while the system is still shallower than the checkpoint and, the
+// insidious case, after it has re-grown past the checkpoint's depth with
+// different rows (caught by the insertion-serial check, not silently
+// splicing out the wrong pivots).
+func TestRewindStaleCheckpointPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Rewind to a stale checkpoint did not panic", name)
+			}
+		}()
+		f()
+	}
+	rng := stats.NewRNG(99)
+	sys := NewSystem(16)
+	base := sys.Mark()
+	sys.Add(bitvec.Random(16, rng.Uint64), true)
+	stale := sys.Mark()
+	sys.Add(bitvec.Random(16, rng.Uint64), false)
+	sys.Rewind(base)
+	mustPanic("shallower", func() { sys.Rewind(stale) })
+	// Re-grow past the stale depth: the depth check alone would pass, the
+	// serial check must not.
+	for i := 0; i < 4; i++ {
+		sys.Add(bitvec.Random(16, rng.Uint64), rng.Bool())
+	}
+	mustPanic("re-grown", func() { sys.Rewind(stale) })
+	// A checkpoint at the same depth taken after the re-growth is valid.
+	sys.Rewind(Checkpoint{pivots: stale.pivots, serial: sys.serial, inconsistent: false})
+	if sys.Rank() != stale.pivots {
+		t.Fatalf("valid same-depth rewind left rank %d", sys.Rank())
+	}
+}
+
+// cloneSearcher is the pre-rewind reference implementation of the image
+// search: every prefix query clones the base system and replays the prefix,
+// exactly as ImageSearcher worked before the rewind engine. The rewindable
+// searcher must be bit-identical to it.
+type cloneSearcher struct {
+	a    *Matrix
+	b    bitvec.BitVec
+	base *System
+}
+
+func (s *cloneSearcher) lexMinWithPrefix(prefix []bool) (bitvec.BitVec, bool) {
+	m := s.a.Rows()
+	sys := s.base.Clone()
+	if !sys.Consistent() {
+		return bitvec.BitVec{}, false
+	}
+	y := bitvec.New(m)
+	scratch := bitvec.New(s.a.Cols())
+	for i, bit := range prefix {
+		sys.Add(s.a.Row(i), bit != s.b.Get(i))
+		if !sys.Consistent() {
+			return bitvec.BitVec{}, false
+		}
+		if bit {
+			y.Set(i, true)
+		}
+	}
+	for i := len(prefix); i < m; i++ {
+		rr := sys.ResidualInto(s.a.Row(i), s.b.Get(i), scratch)
+		if scratch.IsZero() {
+			if rr {
+				y.Set(i, true)
+			}
+			continue
+		}
+		sys.AddPrereduced(scratch, rr)
+	}
+	return y, true
+}
+
+func (s *cloneSearcher) kMin(k int) []bitvec.BitVec {
+	var out []bitvec.BitVec
+	cur, ok := s.lexMinWithPrefix(nil)
+	for ok && len(out) < k {
+		out = append(out, cur)
+		// Successor walk, clone-and-replay per probe.
+		m := s.a.Rows()
+		var next bitvec.BitVec
+		found := false
+		for r := m - 1; r >= 0 && !found; r-- {
+			if cur.Get(r) {
+				continue
+			}
+			prefix := make([]bool, r+1)
+			for i := 0; i < r; i++ {
+				prefix[i] = cur.Get(i)
+			}
+			prefix[r] = true
+			next, found = s.lexMinWithPrefix(prefix)
+		}
+		cur, ok = next, found
+	}
+	return out
+}
+
+// TestRewindSearcherVsCloneReference is the fixed-seed differential: at
+// widths straddling word boundaries, KMin, LexMinWithPrefix, Contains, and
+// EnumerateImage on the rewindable searcher must be bit-identical to the
+// clone-and-replay reference over the same base system.
+func TestRewindSearcherVsCloneReference(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{3, 5}, {6, 10}, {8, 24}, {5, 63}, {5, 64}, {6, 65}, {4, 130},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d/m=%d", tc.n, tc.m), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 12; seed++ {
+				rng := stats.NewRNG(0x5ea7c4<<8 ^ seed<<5 ^ uint64(tc.m))
+				a := RandomMatrix(tc.m, tc.n, rng.Uint64)
+				b := bitvec.Random(tc.m, rng.Uint64)
+				var refBase, base *System
+				if rng.Bool() {
+					refBase, base = NewSystem(tc.n), NewSystem(tc.n)
+					for i, k := 0, rng.Intn(3); i < k; i++ {
+						row := bitvec.Random(tc.n, rng.Uint64)
+						rhs := rng.Bool()
+						refBase.Add(row, rhs)
+						base.Add(row, rhs)
+					}
+				}
+				ref := &cloneSearcher{a: a, b: b, base: refBase}
+				if ref.base == nil {
+					ref.base = NewSystem(tc.n)
+				}
+				s := NewImageSearcher(a, b, base)
+
+				k := 1 + rng.Intn(10)
+				want := ref.kMin(k)
+				got := s.KMin(k)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: KMin(%d) sizes %d vs %d", seed, k, len(got), len(want))
+				}
+				for i := range got {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("seed %d: KMin[%d] = %v, want %v", seed, i, got[i], want[i])
+					}
+				}
+				// Random prefixes, interleaved with Contains probes so the
+				// committed state keeps shifting.
+				for probe := 0; probe < 15; probe++ {
+					plen := rng.Intn(tc.m + 1)
+					prefix := make([]bool, plen)
+					for i := range prefix {
+						prefix[i] = rng.Bool()
+					}
+					wv, wok := ref.lexMinWithPrefix(prefix)
+					gv, gok := s.LexMinWithPrefix(prefix)
+					if gok != wok {
+						t.Fatalf("seed %d: prefix feasibility %v vs %v", seed, gok, wok)
+					}
+					if wok && !gv.Equal(wv) {
+						t.Fatalf("seed %d: LexMinWithPrefix %v, want %v", seed, gv, wv)
+					}
+					y := bitvec.Random(tc.m, rng.Uint64)
+					if len(want) > 0 && rng.Bool() {
+						y = want[rng.Intn(len(want))] // known member
+					}
+					_, wantIn := ref.lexMinWithPrefix(toBits(y))
+					if s.Contains(y) != wantIn {
+						t.Fatalf("seed %d: Contains(%v) = %v, want %v", seed, y, s.Contains(y), wantIn)
+					}
+				}
+				// EnumerateImage must visit the same elements as KMin, with
+				// the scratch-vector contract.
+				var enum []bitvec.BitVec
+				s.EnumerateImage(k, func(v bitvec.BitVec) bool {
+					enum = append(enum, v.Clone())
+					return true
+				})
+				if len(enum) != len(want) {
+					t.Fatalf("seed %d: EnumerateImage visited %d, want %d", seed, len(enum), len(want))
+				}
+				for i := range enum {
+					if !enum[i].Equal(want[i]) {
+						t.Fatalf("seed %d: EnumerateImage[%d] = %v, want %v", seed, i, enum[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func toBits(y bitvec.BitVec) []bool {
+	out := make([]bool, y.Len())
+	for i := range out {
+		out[i] = y.Get(i)
+	}
+	return out
+}

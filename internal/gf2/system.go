@@ -14,10 +14,42 @@ import (
 // and back-substitution is deferred to Solve/NullBasis instead of being
 // maintained per Add, which halves the elimination work. The zero value is
 // not usable; call NewSystem.
+//
+// # Checkpoint/rewind and row ownership
+//
+// Mark returns a Checkpoint and Rewind restores the exact state a Checkpoint
+// was taken at, undoing every insertion in between. The machinery is an
+// insertion journal (the position each pivot was spliced in at, plus the
+// inconsistency flag captured per Checkpoint) and a slab-backed row pool:
+// rows displaced by a Rewind are recycled into later Adds instead of
+// becoming garbage, which is what makes repeated extend/rewind walks
+// (ImageSearcher's prefix searches) allocation-free in steady state.
+//
+// The pool sharpens the aliasing contract of Equations: basis rows obtained
+// from Equations (or Residual output) are owned by the system and are
+// invalidated by the next Rewind — a recycled row's storage is overwritten
+// by a later Add. Callers that hold rows across a Rewind must Clone them;
+// callers that only read rows between a Mark and the matching Rewind (the
+// oracle backends' per-query constraint reads) need not.
 type System struct {
 	cols         int
 	pivots       []pivotRow // sorted by ascending pivot column
 	inconsistent bool
+	// journal records, per installed pivot in insertion order, the index it
+	// was spliced in at — exactly what Rewind needs to splice it back out —
+	// and its insertion serial, which is what lets Rewind detect stale
+	// checkpoints. len(journal) == len(pivots) always.
+	journal []journalEntry
+	serial  uint64 // next insertion serial, monotone across Rewinds
+	// free and slab implement the row pool: free holds rows recycled by
+	// Rewind, slab the unused remainder of the last slab allocation.
+	free []bitvec.BitVec
+	slab []bitvec.BitVec
+}
+
+type journalEntry struct {
+	idx    int32
+	serial uint64
 }
 
 type pivotRow struct {
@@ -33,16 +65,81 @@ func NewSystem(cols int) *System {
 }
 
 // Clone returns an independent copy; subsequent Adds to either do not
-// affect the other.
+// affect the other. Checkpoints taken on the receiver are also valid on the
+// clone (and vice versa): a Checkpoint captures only insertion depth, which
+// Clone preserves. The clone starts with a fresh row pool.
 func (s *System) Clone() *System {
-	c := &System{cols: s.cols, inconsistent: s.inconsistent}
+	c := &System{cols: s.cols, inconsistent: s.inconsistent, serial: s.serial}
 	c.pivots = make([]pivotRow, len(s.pivots))
+	c.journal = append([]journalEntry(nil), s.journal...)
 	rows := bitvec.NewSlab(s.cols, len(s.pivots))
 	for i, p := range s.pivots {
 		rows[i].CopyFrom(p.a)
 		c.pivots[i] = pivotRow{a: rows[i], rhs: p.rhs, col: p.col}
 	}
 	return c
+}
+
+// Checkpoint is a point-in-time marker for Rewind; see Mark. The zero value
+// marks the empty system. Checkpoints are plain values: taking one is a few
+// loads, and it stays valid until a Rewind to an earlier Checkpoint
+// (rewinding past it invalidates it — the insertions it counts are gone;
+// Rewind detects such stale checkpoints by insertion serial and panics
+// rather than silently splicing out the wrong rows).
+type Checkpoint struct {
+	pivots       int
+	serial       uint64
+	inconsistent bool
+}
+
+// Mark captures the current state for a later Rewind. O(1), no allocation.
+func (s *System) Mark() Checkpoint {
+	return Checkpoint{pivots: len(s.pivots), serial: s.serial, inconsistent: s.inconsistent}
+}
+
+// Rewind restores the state captured by cp, undoing every Add since the
+// matching Mark in O(rows undone). The displaced rows are recycled into the
+// internal pool, invalidating aliases obtained from Equations between the
+// Mark and the Rewind (see the type comment's ownership contract). It
+// panics on a stale checkpoint — one whose insertions were already undone
+// by a deeper Rewind, even if the system has since re-grown past its depth
+// (journal serials are monotone, so a re-grown prefix is detectable).
+func (s *System) Rewind(cp Checkpoint) {
+	if cp.pivots > len(s.pivots) ||
+		(cp.pivots > 0 && s.journal[cp.pivots-1].serial >= cp.serial) {
+		panic("gf2: rewind to a stale checkpoint (rewound past, then re-grown)")
+	}
+	for len(s.pivots) > cp.pivots {
+		last := len(s.pivots) - 1
+		idx := s.journal[last].idx
+		row := s.pivots[idx].a
+		copy(s.pivots[idx:], s.pivots[idx+1:])
+		s.pivots = s.pivots[:last]
+		s.journal = s.journal[:last]
+		s.free = append(s.free, row)
+	}
+	s.inconsistent = cp.inconsistent
+}
+
+// newRow hands out a width-cols row from the pool, growing it by a slab
+// when empty. The row contains stale bits; every user overwrites it fully
+// (CopyFrom) before reading.
+func (s *System) newRow() bitvec.BitVec {
+	if n := len(s.free); n > 0 {
+		r := s.free[n-1]
+		s.free = s.free[:n-1]
+		return r
+	}
+	if len(s.slab) == 0 {
+		count := len(s.pivots) + 8
+		if count > 256 {
+			count = 256
+		}
+		s.slab = bitvec.NewSlab(s.cols, count)
+	}
+	r := s.slab[0]
+	s.slab = s.slab[1:]
+	return r
 }
 
 // Cols returns the number of variables.
@@ -97,7 +194,9 @@ func (s *System) ResidualInto(a bitvec.BitVec, rhs bool, dst bitvec.BitVec) bool
 }
 
 // Add inserts the equation a·x = rhs, updating the basis. If the equation
-// contradicts the existing rows the system becomes permanently inconsistent.
+// contradicts the existing rows the system becomes inconsistent until a
+// Rewind to a consistent Checkpoint (or permanently, absent one). The row
+// is copied into pooled storage; the caller keeps ownership of a.
 func (s *System) Add(a bitvec.BitVec, rhs bool) {
 	if a.Len() != s.cols {
 		panic("gf2: row width mismatch")
@@ -105,7 +204,8 @@ func (s *System) Add(a bitvec.BitVec, rhs bool) {
 	if s.inconsistent {
 		return
 	}
-	r := a.Clone()
+	r := s.newRow()
+	r.CopyFrom(a)
 	rr := s.reduceWords(r.Words(), rhs)
 	s.insertReduced(r, rr)
 }
@@ -121,15 +221,20 @@ func (s *System) AddPrereduced(r bitvec.BitVec, rhs bool) {
 	if s.inconsistent {
 		return
 	}
-	s.insertReduced(r.Clone(), rhs)
+	p := s.newRow()
+	p.CopyFrom(r)
+	s.insertReduced(p, rhs)
 }
 
 // insertReduced installs a row that is already reduced against the basis,
-// taking ownership of r. The basis stays in echelon (not fully reduced)
-// form; Solve and NullBasis back-substitute on demand.
+// taking ownership of r (pooled storage). The basis stays in echelon (not
+// fully reduced) form; Solve and NullBasis back-substitute on demand. Every
+// pivot installation is journaled for Rewind; a zero row installs nothing
+// and returns its storage to the pool.
 func (s *System) insertReduced(r bitvec.BitVec, rr bool) {
 	col := r.FirstSet()
 	if col < 0 {
+		s.free = append(s.free, r)
 		if rr {
 			s.inconsistent = true
 		}
@@ -146,6 +251,8 @@ func (s *System) insertReduced(r bitvec.BitVec, rr bool) {
 	s.pivots = append(s.pivots, pivotRow{})
 	copy(s.pivots[idx+1:], s.pivots[idx:])
 	s.pivots[idx] = pivotRow{a: r, rhs: rr, col: col}
+	s.journal = append(s.journal, journalEntry{idx: int32(idx), serial: s.serial})
+	s.serial++
 }
 
 // Solve returns a particular solution with all free variables set to zero.

@@ -1,0 +1,61 @@
+package gf2poly
+
+import (
+	"testing"
+
+	"mcf0/internal/stats"
+)
+
+// TestBarrettReduceVsShiftXor cross-checks the two-CLMUL Barrett fold in
+// Field.Mul against the shift-XOR reference reduction (mulMod, still used
+// during field construction) at every degree, with random and adversarial
+// operands.
+func TestBarrettReduceVsShiftXor(t *testing.T) {
+	rng := stats.NewRNG(0xba77e77)
+	for m := 1; m <= 64; m++ {
+		fd := NewField(m)
+		mask := fd.mask()
+		check := func(a, b uint64) {
+			t.Helper()
+			a &= mask
+			b &= mask
+			got := fd.Mul(a, b)
+			want := mulMod(a, b, fd.f, fd.m)
+			if got != want {
+				t.Fatalf("m=%d: Mul(%#x, %#x) = %#x, reference %#x", m, a, b, got, want)
+			}
+		}
+		// Adversarial shapes: zero, one, all-ones, top/bottom single bits,
+		// the modulus' low part itself.
+		edges := []uint64{0, 1, mask, 1 << uint(m-1), fd.fLow & mask, fd.muLow & mask}
+		for _, a := range edges {
+			for _, b := range edges {
+				check(a, b)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			check(rng.Uint64(), rng.Uint64())
+		}
+	}
+}
+
+// TestBarrettConstant pins the Barrett precomputation: µ must be the true
+// polynomial quotient ⌊x^(2m)/f⌋, i.e. x^(2m) ⊕ µ·f has degree < m.
+func TestBarrettConstant(t *testing.T) {
+	for m := 1; m <= 64; m++ {
+		fd := NewField(m)
+		// rem = x^(2m) ⊕ µ·f with µ = x^m ⊕ µLow. Using the identity
+		// x^(2m) ⊕ x^m·f = fLow·x^m keeps everything inside 128 bits:
+		// rem = fLow·x^m ⊕ µLow·f.
+		rem := poly128{lo: fd.fLow}.shl(m)
+		mh, ml := Clmul64(fd.muLow, fd.f.lo)
+		rem = rem.xor(poly128{hi: mh, lo: ml})
+		if m == 64 {
+			// f's implicit x^64 term: µLow·x^64.
+			rem = rem.xor(poly128{hi: fd.muLow})
+		}
+		if rem.degree() >= m {
+			t.Fatalf("m=%d: Barrett remainder degree %d ≥ m", m, rem.degree())
+		}
+	}
+}

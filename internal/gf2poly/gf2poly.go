@@ -143,10 +143,34 @@ func findIrreducible(m int) poly128 {
 	}
 }
 
+// polyDivQuot returns the quotient of p / f over GF(2), where f has degree
+// df ≥ 1 and the quotient degree is at most 63 (all uses here divide by the
+// field modulus, whose quotients fit a word).
+func polyDivQuot(p, f poly128, df int) uint64 {
+	var q uint64
+	for {
+		d := p.degree()
+		if d < df {
+			return q
+		}
+		q |= 1 << uint(d-df)
+		p = p.xor(f.shl(d - df))
+	}
+}
+
 // Field is the finite field GF(2^m), 1 ≤ m ≤ 64.
+//
+// Multiplication reduces with a precomputed Barrett constant: two carry-less
+// multiplies replace the bit-at-a-time modulus subtraction loop (see
+// Field.reduce).
 type Field struct {
 	m int
 	f poly128
+	// fLow is f with its leading x^m term stripped (the low coefficients);
+	// muLow is µ = ⌊x^(2m)/f⌋ with its leading x^m term stripped. Both fit
+	// a word for every m ≤ 64 and are what the Barrett fold consumes.
+	fLow  uint64
+	muLow uint64
 }
 
 var (
@@ -166,6 +190,16 @@ func NewField(m int) *Field {
 		return f
 	}
 	f := &Field{m: m, f: findIrreducible(m)}
+	// Strip the leading term: for m < 64 it lives in f.lo, for m = 64 in
+	// f.hi (bit 0), so f.lo is already the low part.
+	f.fLow = f.f.lo
+	if m < 64 {
+		f.fLow &^= 1 << uint(m)
+	}
+	// Barrett constant: µ = ⌊x^(2m)/f⌋ = x^m ⊕ ⌊fLow·x^m / f⌋, because
+	// x^(2m) = f·x^m ⊕ fLow·x^m. The second form keeps the dividend inside
+	// 128 bits even at m = 64.
+	f.muLow = polyDivQuot(poly128{lo: f.fLow}.shl(m), f.f, m)
 	fieldCache[m] = f
 	return f
 }
@@ -191,7 +225,39 @@ func (fd *Field) Add(a, b uint64) uint64 { return (a ^ b) & fd.mask() }
 
 // Mul returns the field product a·b.
 func (fd *Field) Mul(a, b uint64) uint64 {
-	return mulMod(a&fd.mask(), b&fd.mask(), fd.f, fd.m)
+	hi, lo := Clmul64(a&fd.mask(), b&fd.mask())
+	return fd.reduce(hi, lo)
+}
+
+// reduce maps the 127-bit carry-less product hi·x^64 ⊕ lo (degree ≤ 2m−2)
+// into the field by a Barrett fold against the cached µ = ⌊x^(2m)/f⌋:
+//
+//	H := ⌊P/x^m⌋                       (the high part of the product)
+//	q := H ⊕ ⌊H·µLow / x^m⌋            (= ⌊H·µ/x^m⌋ = ⌊P/f⌋, exactly —
+//	                                    over GF(2) the Barrett quotient
+//	                                    has no error term for deg P < 2m)
+//	r := P ⊕ q·f  =  low_m(P) ⊕ low_m(q·fLow)
+//
+// Two Clmul64 calls replace the former bit-at-a-time modulus subtraction
+// (up to ~63 iterations); the exact-quotient identity is differential-
+// tested against the shift-XOR reference at every degree.
+func (fd *Field) reduce(hi, lo uint64) uint64 {
+	m := uint(fd.m)
+	var h uint64
+	if m == 64 {
+		h = hi
+	} else {
+		h = lo>>m | hi<<(64-m)
+	}
+	th, tl := Clmul64(h, fd.muLow)
+	q := h
+	if m == 64 {
+		q ^= th
+	} else {
+		q ^= tl>>m | th<<(64-m)
+	}
+	_, ql := Clmul64(q, fd.fLow)
+	return (lo ^ ql) & fd.mask()
 }
 
 // Pow returns a^e.

@@ -328,6 +328,11 @@ func (s *CNFSource) Enumerate(cons *gf2.System, limit int, visit func(bitvec.Bit
 type DNFSource struct {
 	dnf     *formula.DNF
 	queries int64
+	// empty is the persistent stand-in for a nil constraint system; unit is
+	// scratch for the per-literal unit equations. Both exist so Enumerate
+	// works by Mark/extend/Rewind instead of cloning a system per term.
+	empty *gf2.System
+	unit  bitvec.BitVec
 }
 
 // NewDNFSource wraps a DNF formula.
@@ -343,13 +348,28 @@ func (s *DNFSource) NVars() int { return s.dnf.N }
 // Queries returns the number of per-term linear-system solves.
 func (s *DNFSource) Queries() int64 { return s.queries }
 
-// Enumerate visits distinct solutions of φ ∧ cons, term by term.
+// Enumerate visits distinct solutions of φ ∧ cons, term by term. Each
+// term's equations are stacked onto cons behind a checkpoint and rewound
+// afterwards (cons is restored to its entry state before Enumerate
+// returns), replacing the former clone-per-term: the source is
+// single-threaded per the package contract, so the temporary extension is
+// invisible to the caller.
 func (s *DNFSource) Enumerate(cons *gf2.System, limit int, visit func(bitvec.BitVec) bool) int {
 	if cons != nil && !cons.Consistent() {
 		return 0
 	}
 	if limit == 0 {
 		return 0
+	}
+	sys := cons
+	if sys == nil {
+		if s.empty == nil {
+			s.empty = gf2.NewSystem(s.dnf.N)
+		}
+		sys = s.empty
+	}
+	if s.unit.Len() == 0 {
+		s.unit = bitvec.New(s.dnf.N)
 	}
 	seen := map[bitvec.Fingerprint]bool{}
 	count := 0
@@ -358,51 +378,46 @@ func (s *DNFSource) Enumerate(cons *gf2.System, limit int, visit func(bitvec.Bit
 		if stop {
 			break
 		}
-		sys := s.termSystem(t, cons)
+		cp := sys.Mark()
+		ok := s.stackTerm(sys, t)
 		s.queries++
-		if sys == nil || !sys.Consistent() {
-			continue
-		}
-		sys.EnumerateSolutions(-1, func(x bitvec.BitVec) bool {
-			fp := x.Fingerprint()
-			if seen[fp] {
+		if ok && sys.Consistent() {
+			sys.EnumerateSolutions(-1, func(x bitvec.BitVec) bool {
+				fp := x.Fingerprint()
+				if seen[fp] {
+					return true
+				}
+				seen[fp] = true
+				count++
+				if !visit(x) {
+					stop = true
+					return false
+				}
+				if limit >= 0 && count >= limit {
+					stop = true
+					return false
+				}
 				return true
-			}
-			seen[fp] = true
-			count++
-			if !visit(x) {
-				stop = true
-				return false
-			}
-			if limit >= 0 && count >= limit {
-				stop = true
-				return false
-			}
-			return true
-		})
+			})
+		}
+		sys.Rewind(cp)
 	}
 	return count
 }
 
-// termSystem builds the linear system over x equivalent to "x ⊨ term and
-// x satisfies cons"; nil when the term is internally contradictory.
-func (s *DNFSource) termSystem(t formula.Term, cons *gf2.System) *gf2.System {
+// stackTerm adds the unit equations "x ⊨ term" onto sys; false when the
+// term is internally contradictory (nothing is added then).
+func (s *DNFSource) stackTerm(sys *gf2.System, t formula.Term) bool {
 	norm, ok := t.Normalize()
 	if !ok {
-		return nil
-	}
-	var sys *gf2.System
-	if cons != nil {
-		sys = cons.Clone()
-	} else {
-		sys = gf2.NewSystem(s.dnf.N)
+		return false
 	}
 	for _, l := range norm {
-		unit := bitvec.New(s.dnf.N)
-		unit.Set(l.Var, true)
-		sys.Add(unit, !l.Neg)
+		s.unit.Set(l.Var, true)
+		sys.Add(s.unit, !l.Neg)
+		s.unit.Set(l.Var, false)
 	}
-	return sys
+	return true
 }
 
 // Exhaustive is the ground-truth backend: full enumeration over {0,1}^n.

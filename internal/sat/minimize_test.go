@@ -1,0 +1,138 @@
+package sat
+
+import (
+	"testing"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/exact"
+	"mcf0/internal/formula"
+	"mcf0/internal/stats"
+)
+
+// TestMinimizationShrinksAndStaysCorrect drives the solver through
+// conflict-heavy unsatisfiable and enumeration workloads and checks that
+// (a) recursive self-subsumption actually fires (the shrink counters move),
+// and (b) model counts still match the exact DPLL — minimized clauses must
+// remain implied.
+func TestMinimizationShrinksAndStaysCorrect(t *testing.T) {
+	rng := stats.NewRNG(0x315)
+	var agg Stats
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(6)
+		cnf := formula.RandomKCNF(n, 3*n+rng.Intn(2*n), 3, rng)
+		s := New(cnf.N)
+		ok := true
+		for _, cl := range cnf.Clauses {
+			if !s.AddClause([]formula.Lit(cl)) {
+				ok = false
+				break
+			}
+		}
+		want := exact.CountCNF(cnf)
+		if !ok {
+			if want != 0 {
+				t.Fatalf("trial %d: level-0 conflict but %d models", trial, want)
+			}
+			continue
+		}
+		got := uint64(0)
+		s.EnumerateModels(-1, func(m bitvec.BitVec) bool {
+			got++
+			return true
+		})
+		if got != want {
+			t.Fatalf("trial %d: enumerated %d models, exact %d", trial, got, want)
+		}
+		st := s.Stats()
+		if st.MinimizedLits > st.LearnedLits {
+			t.Fatalf("trial %d: minimized %d > learned %d literals", trial, st.MinimizedLits, st.LearnedLits)
+		}
+		agg.Add(st)
+	}
+	if agg.LearnedLits == 0 {
+		t.Fatal("workload produced no learned literals; shrink rate unobservable")
+	}
+	if agg.MinimizedLits == 0 {
+		t.Fatalf("recursive self-subsumption never pruned a literal across %d learned literals", agg.LearnedLits)
+	}
+	t.Logf("shrink rate: %d/%d literals (%.1f%%)", agg.MinimizedLits, agg.LearnedLits,
+		100*float64(agg.MinimizedLits)/float64(agg.LearnedLits))
+}
+
+// TestMinimizationXORReasons exercises minimization through XOR-propagated
+// reasons: CNF-XOR instances where conflict cones cross xorClause reasons.
+func TestMinimizationXORReasons(t *testing.T) {
+	rng := stats.NewRNG(0x316)
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(5)
+		cnf := formula.RandomKCNF(n, 2*n, 3, rng)
+		s := New(cnf.N)
+		ok := true
+		for _, cl := range cnf.Clauses {
+			if !s.AddClause([]formula.Lit(cl)) {
+				ok = false
+				break
+			}
+		}
+		rows := 1 + rng.Intn(n/2)
+		eval := func(x bitvec.BitVec) bool {
+			for _, cl := range cnf.Clauses {
+				sat := false
+				for _, l := range cl {
+					if x.Get(l.Var) != l.Neg {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					return false
+				}
+			}
+			return true
+		}
+		var xors [][]int
+		var rhss []bool
+		for r := 0; r < rows; r++ {
+			var vars []int
+			for v := 0; v < n; v++ {
+				if rng.Bool() {
+					vars = append(vars, v)
+				}
+			}
+			if len(vars) == 0 {
+				continue
+			}
+			rhs := rng.Bool()
+			xors, rhss = append(xors, vars), append(rhss, rhs)
+			if ok && !s.AddXOR(vars, rhs) {
+				ok = false
+			}
+		}
+		want := uint64(0)
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			x := bitvec.FromUint64(v, n)
+			good := eval(x)
+			for i := 0; good && i < len(xors); i++ {
+				par := false
+				for _, vv := range xors[i] {
+					par = par != x.Get(vv)
+				}
+				good = par == rhss[i]
+			}
+			if good {
+				want++
+			}
+		}
+		if !ok {
+			if want != 0 {
+				t.Fatalf("trial %d: add-time conflict but %d models", trial, want)
+			}
+			continue
+		}
+		got := uint64(0)
+		s.EnumerateModels(-1, func(bitvec.BitVec) bool { got++; return true })
+		if got != want {
+			t.Fatalf("trial %d: enumerated %d models, exact %d", trial, got, want)
+		}
+	}
+}

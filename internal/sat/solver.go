@@ -94,6 +94,11 @@ type Stats struct {
 	// Deleted counts learned clauses removed by database reduction.
 	Deleted  int64
 	Restarts int64
+	// LearnedLits counts literals in first-UIP clauses before minimization;
+	// MinimizedLits counts how many of them recursive self-subsumption
+	// pruned. MinimizedLits/LearnedLits is the shrink rate.
+	LearnedLits   int64
+	MinimizedLits int64
 }
 
 // Add accumulates o into s, for aggregating per-fork solver meters.
@@ -104,6 +109,8 @@ func (s *Stats) Add(o Stats) {
 	s.Learned += o.Learned
 	s.Deleted += o.Deleted
 	s.Restarts += o.Restarts
+	s.LearnedLits += o.LearnedLits
+	s.MinimizedLits += o.MinimizedLits
 }
 
 // Solver is an incremental CDCL SAT solver.
@@ -152,6 +159,8 @@ type Solver struct {
 	assumpBuf    []uint32
 	blockBuf     []uint32
 	reduceBuf    []cref
+	minStack     []uint32
+	minClear     []uint32
 
 	stats Stats
 }
@@ -476,6 +485,19 @@ func (s *Solver) analyze(conf uint32) ([]uint32, int, uint32) {
 		}
 		lits = s.reasonLits(v)
 	}
+	// Recursive self-subsumption (MiniSat-style minimization): drop every
+	// literal whose reason set is dominated by the rest of the clause. The
+	// seen marks double as the "in clause or proven removable" set; all
+	// marks made here and above are cleared together via minClear.
+	marks := s.minClear[:0]
+	for _, q := range learned[1:] {
+		marks = append(marks, q>>1)
+	}
+	s.minClear = marks
+	orig := len(learned)
+	s.stats.LearnedLits += int64(orig)
+	learned = s.minimizeLearned(learned)
+	s.stats.MinimizedLits += int64(orig - len(learned))
 	// Compute backtrack level, moving the max-level literal to position 1
 	// (the second watch), and clear marks.
 	back := 0
@@ -485,8 +507,8 @@ func (s *Solver) analyze(conf uint32) ([]uint32, int, uint32) {
 			learned[1], learned[i] = learned[i], learned[1]
 		}
 	}
-	for _, q := range learned[1:] {
-		s.seen[q>>1] = false
+	for _, v := range s.minClear {
+		s.seen[v] = false
 	}
 	// LBD: distinct decision levels spanned by the clause.
 	s.lbdStamp++
@@ -500,6 +522,66 @@ func (s *Solver) analyze(conf uint32) ([]uint32, int, uint32) {
 	}
 	s.learnedBuf = learned
 	return learned, back, lbd
+}
+
+// minimizeLearned compacts the first-UIP clause in place, dropping every
+// non-asserting literal proven redundant by litRedundant. On entry the seen
+// marks are set exactly for the vars of learned[1:] (the analyze loop's
+// invariant) and minClear lists them; litRedundant extends both with the
+// vars it proves removable, and analyze clears everything via minClear.
+func (s *Solver) minimizeLearned(learned []uint32) []uint32 {
+	if len(learned) <= 1 {
+		return learned
+	}
+	// Bloom filter of the decision levels present in the clause: a literal
+	// is only removable if its whole reason cone stays on these levels, so
+	// probes into foreign levels fail without walking the cone.
+	var levels uint32
+	for _, q := range learned[1:] {
+		levels |= 1 << (uint(s.level[q>>1]) & 31)
+	}
+	out := learned[:1]
+	for _, q := range learned[1:] {
+		if s.reason[q>>1] == reasonNone || !s.litRedundant(q, levels) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// litRedundant reports whether literal p of the learned clause is implied
+// by the remaining literals: every literal reachable through reason clauses
+// from p must itself be in the clause (seen), at level 0, or recursively
+// redundant. Marks proven during the walk persist in seen/minClear — shared
+// reason cones are explored once per conflict — and marks from a failed
+// probe are rolled back so they cannot masquerade as clause membership.
+func (s *Solver) litRedundant(p uint32, levels uint32) bool {
+	stack := append(s.minStack[:0], p)
+	top := len(s.minClear)
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lits := s.reasonLits(litVar(q))
+		for _, l := range lits[1:] {
+			v := litVar(l)
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == reasonNone || levels&(1<<(uint(s.level[v])&31)) == 0 {
+				for _, w := range s.minClear[top:] {
+					s.seen[w] = false
+				}
+				s.minClear = s.minClear[:top]
+				s.minStack = stack[:0]
+				return false
+			}
+			s.seen[v] = true
+			s.minClear = append(s.minClear, v)
+			stack = append(stack, l)
+		}
+	}
+	s.minStack = stack[:0]
+	return true
 }
 
 // record installs a learned clause and asserts its first literal.

@@ -414,7 +414,11 @@ func NewAffineStream(n int, opts Options) *AffineStream {
 }
 
 // AffineFindMin implements Proposition 4: the t lexicographically smallest
-// elements of h(Sol(⟨A, b⟩)), via Gaussian elimination in O(n⁴·t).
+// elements of h(Sol(⟨A, b⟩)), via Gaussian elimination in O(n⁴·t). The
+// searcher takes ownership of the stacked constraint system and walks the
+// t minima over one rewindable elimination state (successor probes rewind
+// to their divergence point instead of cloning ⟨A, b⟩'s echelon form per
+// step).
 func AffineFindMin(a *gf2.Matrix, b bitvec.BitVec, h *hash.Linear, t int) []bitvec.BitVec {
 	cons := gf2.NewSystem(a.Cols())
 	for i := 0; i < a.Rows(); i++ {

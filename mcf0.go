@@ -134,18 +134,25 @@ type SolverStats struct {
 	// Deleted counts learned clauses removed by database reduction.
 	Deleted  int64
 	Restarts int64
+	// LearnedLits counts literals in first-UIP clauses before minimization;
+	// MinimizedLits counts how many recursive self-subsumption pruned
+	// (MinimizedLits/LearnedLits is the learned-clause shrink rate).
+	LearnedLits   int64
+	MinimizedLits int64
 }
 
 // solverStats snapshots a CNF source's aggregated solver counters.
 func solverStats(src *oracle.CNFSource) SolverStats {
 	st := src.SolverStats()
 	return SolverStats{
-		Decisions:    st.Decisions,
-		Propagations: st.Propagations,
-		Conflicts:    st.Conflicts,
-		Learned:      st.Learned,
-		Deleted:      st.Deleted,
-		Restarts:     st.Restarts,
+		Decisions:     st.Decisions,
+		Propagations:  st.Propagations,
+		Conflicts:     st.Conflicts,
+		Learned:       st.Learned,
+		Deleted:       st.Deleted,
+		Restarts:      st.Restarts,
+		LearnedLits:   st.LearnedLits,
+		MinimizedLits: st.MinimizedLits,
 	}
 }
 

@@ -1,26 +1,27 @@
 #!/usr/bin/env bash
-# Runs the hot-path benchmarks with -benchmem and regenerates BENCH_4.json,
+# Runs the hot-path benchmarks with -benchmem and regenerates BENCH_5.json,
 # pairing the results with the checked-in pre-change baseline
-# (bench/baseline4_*.txt, captured at the PR-3 tree before the carry-less
-# Toeplitz kernel). BenchmarkToeplitzEvalInto also carries an in-run
-# baseline: its dotrow/* variants force the per-row dot-product path on the
-# same drawn functions the clmul/* variants evaluate. The par=1 vs par=max
-# variants of the sharded benches (BenchmarkE4SketchBatch,
-# BenchmarkE6DNFStreamBatch) quantify the per-copy fan-out; they collapse
-# to the same figure on a single-core machine.
+# (bench/baseline5_*.txt, captured at the PR-4 tree before the rewindable
+# elimination engine). Two benchmarks carry in-run baselines as well:
+# BenchmarkToeplitzEvalInto's dotrow/* variants force the per-row
+# dot-product path, and BenchmarkSystemRewind's clone/* variants run the
+# clone-and-replay the rewind engine replaces, both over identical inputs.
+# The par=1 vs par=max variants of the sharded benches
+# (BenchmarkE4SketchBatch, BenchmarkE6DNFStreamBatch) quantify the per-copy
+# fan-out; they collapse to the same figure on a single-core machine.
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_4.json}
-HOT='BenchmarkA1HashFamily|BenchmarkToeplitzEvalInto|BenchmarkE4F0Sketches|BenchmarkE4SketchBatch|BenchmarkGF2$|BenchmarkE1ApproxMC|BenchmarkE2FindMin|BenchmarkE6DNFStream'
+OUT=${1:-BENCH_5.json}
+HOT='BenchmarkA1HashFamily|BenchmarkToeplitzEvalInto|BenchmarkE4F0Sketches|BenchmarkE4SketchBatch|BenchmarkGF2$|BenchmarkSystemRewind|BenchmarkE1ApproxMC|BenchmarkE2FindMin|BenchmarkE6DNFStream'
 
 mkdir -p bench
 go test . -run '^$' -bench "$HOT" -benchmem -benchtime 300ms | tee bench/current_hot.txt
 go test ./internal/sat -run '^$' -bench . -benchmem -benchtime 300ms | tee bench/current_sat.txt
 
 go run ./scripts/benchjson -out "$OUT" \
-  -baseline bench/baseline4_hot.txt -baseline bench/baseline4_sat.txt \
+  -baseline bench/baseline5_hot.txt -baseline bench/baseline5_sat.txt \
   -current bench/current_hot.txt -current bench/current_sat.txt
 
 echo "wrote $OUT"
