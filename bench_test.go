@@ -11,6 +11,8 @@ package mcf0
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 
 	"mcf0/internal/bitvec"
@@ -610,6 +612,63 @@ func BenchmarkGF2PolyMul(b *testing.B) {
 }
 
 var sinkFloat float64
+
+// BenchmarkConcurrentIngest times the PR-6 tentpole: lock-free concurrent
+// ingestion through ConcurrentF0 (one 256-element AddBatch per op, issued
+// from GOMAXPROCS producer goroutines) at replica counts 1 and
+// GOMAXPROCS, against the pre-PR baseline of a single F0 guarded by one
+// mutex under the same producers. On a single-core machine the variants
+// collapse towards the same figure (no parallel producers actually run);
+// the replicas=1 row then also bounds the front's acquisition overhead.
+func BenchmarkConcurrentIngest(b *testing.B) {
+	cfg := Config{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, Seed: 33, Parallelism: 1}
+	const chunk = 256
+	chunks := make([][]uint64, 16)
+	for k := range chunks {
+		chunks[k] = make([]uint64, chunk)
+		for i := range chunks[k] {
+			chunks[k][i] = uint64(k*chunk+i) * 2654435761 % (1 << 20)
+		}
+	}
+	variants := []struct {
+		name string
+		reps int
+	}{{"replicas=1", 1}, {"replicas=gomaxprocs", runtime.GOMAXPROCS(0)}}
+	for _, v := range variants {
+		reps := v.reps
+		b.Run(v.name, func(b *testing.B) {
+			c, err := NewConcurrentF0(32, AlgorithmMinimum, cfg, reps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				k := 0
+				for pb.Next() {
+					c.AddBatch(chunks[k%len(chunks)])
+					k++
+				}
+			})
+			sinkFloat = c.Estimate()
+		})
+	}
+	b.Run("locked-f0", func(b *testing.B) {
+		f, err := NewF0(32, AlgorithmMinimum, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mu sync.Mutex
+		b.RunParallel(func(pb *testing.PB) {
+			k := 0
+			for pb.Next() {
+				mu.Lock()
+				f.AddBatch(chunks[k%len(chunks)])
+				mu.Unlock()
+				k++
+			}
+		})
+		sinkFloat = f.Estimate()
+	})
+}
 
 // BenchmarkEndToEnd runs the full public-API paths once per iteration.
 func BenchmarkEndToEnd(b *testing.B) {

@@ -14,11 +14,15 @@
 //	-nvars int      variables for DNF streams (default = -bits)
 //	-alg string     element-stream sketch: bucketing|minimum|estimation
 //	-par int        sketch-copy worker pool (0 = GOMAXPROCS, 1 = serial)
+//	-replicas int   element streams only: ingest through a lock-free
+//	                ConcurrentF0 with this many replicas fed by as many
+//	                goroutines (0 = off, -1 = GOMAXPROCS)
 //	-eps, -delta, -thresh, -iters, -seed   as in approxmc
 //
 // Items are ingested in chunks of 256 so the sketch copies fan out across
 // the worker pool once per chunk rather than once per item; estimates are
-// identical to item-at-a-time processing at any -par level.
+// identical to item-at-a-time processing at any -par level, and — for
+// element streams under -replicas — at any replica count.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"mcf0"
 )
@@ -45,6 +50,7 @@ func main() {
 		it    = flag.Int("iters", 0, "override iterations")
 		seed  = flag.Uint64("seed", 1, "random seed")
 		par   = flag.Int("par", 0, "sketch-copy worker pool (0 = GOMAXPROCS, 1 = serial)")
+		reps  = flag.Int("replicas", 0, "element streams: lock-free ConcurrentF0 replicas (0 = off, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *nvars == 0 {
@@ -65,11 +71,38 @@ func main() {
 
 	var (
 		elemSketch  *mcf0.F0
+		concSketch  *mcf0.ConcurrentF0
 		rangeSketch *mcf0.RangeF0
 		progSketch  *mcf0.ProgressionF0
 		dnfSketch   *mcf0.DNFSetF0
 		items       int
 	)
+
+	// Under -replicas, element chunks are handed to a pool of feeder
+	// goroutines that ingest concurrently through the lock-free front;
+	// estimates are unchanged (the replicas merge to the same state no
+	// matter which feeder absorbed which chunk).
+	var (
+		concChunks chan []uint64
+		concWG     sync.WaitGroup
+	)
+	startConc := func() {
+		var err error
+		concSketch, err = mcf0.NewConcurrentF0(*bits, mcf0.Algorithm(*alg), cfg, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		concChunks = make(chan []uint64, 4*concSketch.Replicas())
+		for w := 0; w < concSketch.Replicas(); w++ {
+			concWG.Add(1)
+			go func() {
+				defer concWG.Done()
+				for chunk := range concChunks {
+					concSketch.AddBatch(chunk)
+				}
+			}()
+		}
+	}
 
 	// Chunked ingestion: items accumulate per destination and flush to the
 	// batch APIs every batchSize items (and at EOF), so the per-copy worker
@@ -85,7 +118,11 @@ func main() {
 	)
 	flush := func() {
 		if len(elemBuf) > 0 {
-			elemSketch.AddBatch(elemBuf)
+			if concSketch != nil {
+				concChunks <- append([]uint64(nil), elemBuf...)
+			} else {
+				elemSketch.AddBatch(elemBuf)
+			}
 			elemBuf = elemBuf[:0]
 		}
 		if len(dnfElemBuf) > 0 {
@@ -125,11 +162,15 @@ func main() {
 				}
 				continue
 			}
-			if elemSketch == nil {
-				var err error
-				elemSketch, err = mcf0.NewF0(*bits, mcf0.Algorithm(*alg), cfg)
-				if err != nil {
-					fatal(err)
+			if elemSketch == nil && concSketch == nil {
+				if *reps != 0 {
+					startConc()
+				} else {
+					var err error
+					elemSketch, err = mcf0.NewF0(*bits, mcf0.Algorithm(*alg), cfg)
+					if err != nil {
+						fatal(err)
+					}
 				}
 			}
 			elemBuf = append(elemBuf, parseU(args[0]))
@@ -199,9 +240,15 @@ func main() {
 		fatal(err)
 	}
 	flush()
+	if concSketch != nil {
+		close(concChunks)
+		concWG.Wait()
+	}
 
 	var est float64
 	switch {
+	case concSketch != nil:
+		est = concSketch.Estimate()
 	case elemSketch != nil:
 		est = elemSketch.Estimate()
 	case rangeSketch != nil:

@@ -1,0 +1,133 @@
+package mcf0
+
+import (
+	"fmt"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/streaming"
+)
+
+// Clone returns a deep copy of the sketch sharing the (immutable) hash
+// draws — exactly the precondition Merge requires. Feeding the clone
+// never disturbs the original.
+func (f *F0) Clone() *F0 {
+	return &F0{nBits: f.nBits, est: f.est.(streaming.Sketch).Clone()}
+}
+
+// Merge folds other's sketch state into f, so that f afterwards estimates
+// F0 of the union of both element streams — bit-identical to one sketch
+// having ingested both streams interleaved in any order. The two sketches
+// must share hash draws: built with the same algorithm, width, and seed
+// (or related via Clone). other is not mutated.
+func (f *F0) Merge(other *F0) error {
+	if other.nBits != f.nBits {
+		return fmt.Errorf("mcf0: cannot merge %d-bit and %d-bit sketches", f.nBits, other.nBits)
+	}
+	a, ok := f.est.(streaming.Sketch)
+	b, ok2 := other.est.(streaming.Sketch)
+	if !ok || !ok2 {
+		return streaming.ErrIncompatibleSketch
+	}
+	return a.Merge(b)
+}
+
+// ConcurrentF0 is a lock-free concurrent-ingestion front over an F0
+// sketch: P per-core replicas cloned from one seed sketch (same hash
+// draws), each padded onto its own cache lines, so Add and AddBatch may
+// be called from any number of goroutines without ever serialising on a
+// shared lock — a writer claims whichever replica it can lock without
+// blocking. Estimate merges the replicas on demand and caches the answer
+// until the next write.
+//
+// Because the underlying sketches are idempotent, order-insensitive
+// functions of the element set and all replicas share draws, the merged
+// estimate does not depend on which goroutine's elements landed on which
+// replica: fixed-seed ConcurrentF0 estimates are bit-identical to a
+// serial F0 over the same element set, at every replica count.
+type ConcurrentF0 struct {
+	nBits int
+	front *streaming.Concurrent
+}
+
+// NewConcurrentF0 builds a concurrent F0 sketch over an nBits-bit
+// universe with the given replica count (replicas ≤ 0 selects
+// GOMAXPROCS). Each replica ingests serially on the claiming goroutine —
+// cfg.Parallelism is forced to 1, since concurrency comes from the
+// callers' goroutines rather than a per-batch worker pool.
+func NewConcurrentF0(nBits int, alg Algorithm, cfg Config, replicas int) (*ConcurrentF0, error) {
+	cfg.Parallelism = 1
+	seed, err := NewF0(nBits, alg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentF0{
+		nBits: nBits,
+		front: streaming.NewConcurrent(seed.est.(streaming.Sketch), replicas),
+	}, nil
+}
+
+// Replicas returns the replica count.
+func (c *ConcurrentF0) Replicas() int { return c.front.Replicas() }
+
+// Add absorbs one stream element; safe to call from any goroutine.
+func (c *ConcurrentF0) Add(x uint64) {
+	if c.nBits < 64 && x >= 1<<uint(c.nBits) {
+		panic(fmt.Sprintf("mcf0: element %d exceeds %d-bit universe", x, c.nBits))
+	}
+	c.front.Process(bitvec.FromUint64(x, c.nBits))
+}
+
+// AddBatch absorbs a chunk of stream elements on one replica, amortising
+// acquisition over the chunk; safe to call from any goroutine.
+func (c *ConcurrentF0) AddBatch(xs []uint64) {
+	if len(xs) == 0 {
+		return
+	}
+	batch := make([]bitvec.BitVec, len(xs))
+	for i, x := range xs {
+		if c.nBits < 64 && x >= 1<<uint(c.nBits) {
+			panic(fmt.Sprintf("mcf0: element %d exceeds %d-bit universe", x, c.nBits))
+		}
+		batch[i] = bitvec.FromUint64(x, c.nBits)
+	}
+	c.front.ProcessBatch(batch)
+}
+
+// Estimate merges the replicas and returns the combined distinct-count
+// approximation; safe to interleave with concurrent Adds (their elements
+// land in a later estimate).
+func (c *ConcurrentF0) Estimate() float64 { return c.front.Estimate() }
+
+// SketchWords returns the summed replica footprint in 64-bit words.
+func (c *ConcurrentF0) SketchWords() int { return c.front.SketchWords() }
+
+// Merge folds other's sketch state into d (same n, same seed and
+// parameters required); d afterwards estimates the union of both DNF-set
+// streams.
+func (d *DNFSetF0) Merge(other *DNFSetF0) error {
+	if other.n != d.n {
+		return fmt.Errorf("mcf0: cannot merge %d-var and %d-var DNF streams", d.n, other.n)
+	}
+	return d.inner.Merge(other.inner)
+}
+
+// Merge folds other's sketch state into r (same dimensions, same seed and
+// parameters required).
+func (r *RangeF0) Merge(other *RangeF0) error {
+	return r.inner.Merge(other.inner)
+}
+
+// Merge folds other's sketch state into p (same dimensions, same seed and
+// parameters required).
+func (p *ProgressionF0) Merge(other *ProgressionF0) error {
+	return p.inner.Merge(other.inner)
+}
+
+// Merge folds other's sketch state into a (same width, same seed and
+// parameters required).
+func (a *AffineF0) Merge(other *AffineF0) error {
+	if other.n != a.n {
+		return fmt.Errorf("mcf0: cannot merge %d-bit and %d-bit affine streams", a.n, other.n)
+	}
+	return a.inner.Merge(other.inner)
+}

@@ -3,17 +3,25 @@
 // evaluation in package hash (h(x) = Ax+b for Toeplitz A is a GF(2)[x]
 // polynomial multiply; see hash.Toeplitz).
 //
-// The implementation is pure Go, built on bits.Mul64 "holes" multiplies
-// (integer products of operands whose set bits are spaced four apart, so
-// column sums fit in the zero gaps and never carry into a kept position).
-// It deliberately avoids the classic bit-reversal trick for the high half
-// — the whole 128-bit product comes out of one pass — and every caller
-// funnels through Clmul64, so a future PCLMULQDQ/PMULL assembly drop-in
-// replaces this one file (Clmul64 becomes the dispatch point; the generic
-// code below stays as the fallback).
+// Clmul64 is the dispatch point. On amd64 with PCLMULQDQ and on arm64 with
+// the PMULL crypto extension it routes to a one-instruction assembly
+// backend (clmul_amd64.s / clmul_arm64.s, gated by run-time CPU-feature
+// detection in the clmul_*.go siblings); everywhere else — and as the
+// differential anchor the assembly is tested against — it runs the pure-Go
+// kernel below, built on bits.Mul64 "holes" multiplies (integer products of
+// operands whose set bits are spaced four apart, so column sums fit in the
+// zero gaps and never carry into a kept position). The generic path
+// deliberately avoids the classic bit-reversal trick for the high half —
+// the whole 128-bit product comes out of one pass.
 package gf2poly
 
 import "math/bits"
+
+// HasAsm reports whether Clmul64 is dispatching to the hardware carry-less
+// multiply backend (PCLMULQDQ on amd64, PMULL on arm64) rather than the
+// pure-Go kernel. Exposed so benchmarks and logs can label which backend
+// produced their numbers.
+func HasAsm() bool { return hasCLMUL }
 
 // hole masks select every fourth bit. An operand masked by hole r has its
 // set bits ≥ 4 positions apart, which is what makes the integer-multiply
@@ -27,9 +35,21 @@ const (
 
 // Clmul64 returns the carry-less product of the polynomials a and b over
 // GF(2): bit i of an operand is the coefficient of x^i, and the 127-bit
-// product is returned as hi<<64 | lo. The cost is 16 integer multiplies on
-// the common path (see clmulHoles), independent of operand values.
+// product is returned as hi<<64 | lo. With hardware support detected (see
+// HasAsm) the product is a single PCLMULQDQ/PMULL instruction; the generic
+// path costs 16 integer multiplies (see clmulHoles), independent of
+// operand values.
 func Clmul64(a, b uint64) (hi, lo uint64) {
+	if hasCLMUL {
+		return clmulAsm(a, b)
+	}
+	return clmul64Generic(a, b)
+}
+
+// clmul64Generic is the pure-Go kernel behind Clmul64 — always available,
+// and kept as the differential anchor the assembly backends are verified
+// against.
+func clmul64Generic(a, b uint64) (hi, lo uint64) {
 	a0, a1, a2, a3 := a&hole0, a&hole1, a&hole2, a&hole3
 	if (a0 == hole0 || a1 == hole1 || a2 == hole2 || a3 == hole3) &&
 		(b&hole0 == hole0 || b&hole1 == hole1 || b&hole2 == hole2 || b&hole3 == hole3) {
@@ -94,6 +114,23 @@ func xorMul4(x0, y0, x1, y1, x2, y2, x3, y3 uint64) (hi, lo uint64) {
 func ClmulAccInto(dst, a, b []uint64) {
 	if len(dst) < len(a)+len(b) {
 		panic("gf2poly: clmul destination shorter than len(a)+len(b) words")
+	}
+	if hasCLMUL {
+		for i, aw := range a {
+			if aw == 0 {
+				continue
+			}
+			row := dst[i : i+len(b)+1]
+			for j, bw := range b {
+				if bw == 0 {
+					continue
+				}
+				hi, lo := clmulAsm(aw, bw)
+				row[j] ^= lo
+				row[j+1] ^= hi
+			}
+		}
+		return
 	}
 	for i, aw := range a {
 		if aw == 0 {

@@ -1,0 +1,25 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func clmulAsm(a, b uint64) (hi, lo uint64)
+//
+// One PCLMULQDQ over the low quadwords of X0 and X1: X0 = clmul(a, b),
+// 127 bits. The low half is stored directly; PSRLDQ shifts the high half
+// down for the second store.
+TEXT ·clmulAsm(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), X0
+	MOVQ b+8(FP), X1
+	PCLMULQDQ $0x00, X1, X0
+	MOVQ X0, lo+24(FP)
+	PSRLDQ $8, X0
+	MOVQ X0, hi+16(FP)
+	RET
+
+// func cpuidECX1() uint32
+TEXT ·cpuidECX1(SB), NOSPLIT, $0-4
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, ret+0(FP)
+	RET

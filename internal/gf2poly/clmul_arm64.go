@@ -1,0 +1,51 @@
+//go:build arm64
+
+package gf2poly
+
+import (
+	"encoding/binary"
+	"os"
+	"runtime"
+)
+
+// clmulAsm computes the 128-bit carry-less product of a and b with one
+// PMULL instruction (clmul_arm64.s). Callable only when hasCLMUL.
+func clmulAsm(a, b uint64) (hi, lo uint64)
+
+// hasCLMUL gates the assembly backend on the PMULL (polynomial multiply
+// long) crypto extension, which is optional in ARMv8-A. The pure-Go kernel
+// remains the fallback where the extension is absent or undetectable.
+var hasCLMUL = detectPMULL()
+
+func detectPMULL() bool {
+	switch runtime.GOOS {
+	case "darwin", "ios":
+		// Every Apple Silicon core ships the crypto extensions.
+		return true
+	case "linux", "android":
+		return linuxHWCAPHasPMULL()
+	}
+	return false
+}
+
+// linuxHWCAPHasPMULL reads the PMULL bit of AT_HWCAP from the process
+// auxiliary vector. The repository carries no external dependencies
+// (golang.org/x/sys/cpu would do this for us), so the auxv — pairs of
+// little-endian (tag, value) uint64s — is parsed directly; any read or
+// parse failure conservatively disables the backend.
+func linuxHWCAPHasPMULL() bool {
+	const (
+		atHWCAP    = 16     // AT_HWCAP auxv tag
+		hwcapPMULL = 1 << 4 // HWCAP_PMULL
+	)
+	buf, err := os.ReadFile("/proc/self/auxv")
+	if err != nil {
+		return false
+	}
+	for i := 0; i+16 <= len(buf); i += 16 {
+		if binary.LittleEndian.Uint64(buf[i:]) == atHWCAP {
+			return binary.LittleEndian.Uint64(buf[i+8:])&hwcapPMULL != 0
+		}
+	}
+	return false
+}

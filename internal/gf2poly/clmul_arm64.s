@@ -1,0 +1,19 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// func clmulAsm(a, b uint64) (hi, lo uint64)
+//
+// One PMULL (polynomial multiply long) over the low 64-bit lanes of V0 and
+// V1: V2 holds the 127-bit carry-less product, moved back out lane by lane.
+TEXT ·clmulAsm(SB), NOSPLIT, $0-32
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	VMOV R0, V0.D[0]
+	VMOV R1, V1.D[0]
+	VPMULL V0.D1, V1.D1, V2.Q1
+	VMOV V2.D[0], R2
+	VMOV V2.D[1], R3
+	MOVD R3, hi+16(FP)
+	MOVD R2, lo+24(FP)
+	RET

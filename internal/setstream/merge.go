@@ -1,0 +1,111 @@
+package setstream
+
+import (
+	"errors"
+
+	"mcf0/internal/hash"
+)
+
+// ErrIncompatibleSketch is returned by Merge when two streams cannot be
+// combined: different universe widths, copy counts, thresholds — or
+// different hash draws, under which the merged minima would be drawn from
+// two unrelated random projections.
+var ErrIncompatibleSketch = errors.New("setstream: sketches are not mergeable (mismatched shape or hash draws)")
+
+// sameLinear reports whether two linear hashes are the same draw, by
+// pointer or by structural equality of Ax+b.
+func sameLinear(a, b *hash.Linear) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.A.Rows() != b.A.Rows() || a.A.Cols() != b.A.Cols() || !a.B.Equal(b.B) {
+		return false
+	}
+	for i := 0; i < a.A.Rows(); i++ {
+		if !a.A.Row(i).Equal(b.A.Row(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// merge folds other's minima into s. For sketches sharing hash draws
+// (same-seed construction) the result is bit-identical to one sketch
+// having processed both item streams: each copy's vals is the sorted
+// Thresh-smallest prefix of the union of distinct hash values, and
+// absorb's sorted-batch merge computes exactly that. other is not
+// mutated.
+func (s *minSketch) merge(other *minSketch) error {
+	if other.thresh != s.thresh || len(other.copies) != len(s.copies) {
+		return ErrIncompatibleSketch
+	}
+	for i := range s.copies {
+		if !sameLinear(s.copies[i].h, other.copies[i].h) {
+			return ErrIncompatibleSketch
+		}
+	}
+	for i := range s.copies {
+		s.absorb(s.copies[i], other.copies[i].vals)
+	}
+	return nil
+}
+
+// Merge folds other's sketch state into d; both streams must be built
+// over the same universe with the same seed and parameters. After the
+// merge, d estimates F0 of the union of both item streams.
+func (d *DNFStream) Merge(other *DNFStream) error {
+	if other.n != d.n {
+		return ErrIncompatibleSketch
+	}
+	return d.s.merge(other.s)
+}
+
+// Merge folds other's sketch state into r (same-seed streams only).
+func (r *RangeStream) Merge(other *RangeStream) error {
+	if len(other.bits) != len(r.bits) {
+		return ErrIncompatibleSketch
+	}
+	for i := range r.bits {
+		if other.bits[i] != r.bits[i] {
+			return ErrIncompatibleSketch
+		}
+	}
+	return r.inner.Merge(other.inner)
+}
+
+// Merge folds other's sketch state into p (same-seed streams only).
+func (p *ProgressionStream) Merge(other *ProgressionStream) error {
+	if len(other.bits) != len(p.bits) {
+		return ErrIncompatibleSketch
+	}
+	for i := range p.bits {
+		if other.bits[i] != p.bits[i] {
+			return ErrIncompatibleSketch
+		}
+	}
+	return p.inner.Merge(other.inner)
+}
+
+// Merge folds other's sketch state into s (same-seed streams only).
+func (s *AffineStream) Merge(other *AffineStream) error {
+	if other.n != s.n {
+		return ErrIncompatibleSketch
+	}
+	return s.s.merge(other.s)
+}
+
+// Merge folds other's sketch state into c (same-seed streams only) and
+// adds other's oracle-query meter to c's.
+func (c *CNFStream) Merge(other *CNFStream) error {
+	if other.n != c.n {
+		return ErrIncompatibleSketch
+	}
+	if err := c.s.merge(other.s); err != nil {
+		return err
+	}
+	c.Queries += other.Queries
+	return nil
+}

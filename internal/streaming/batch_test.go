@@ -43,12 +43,14 @@ func requireBucketingEqual(t *testing.T, a, b *Bucketing) {
 		if ca.level != cb.level {
 			t.Fatalf("copy %d: level %d != %d", i, ca.level, cb.level)
 		}
-		if len(ca.elems) != len(cb.elems) {
-			t.Fatalf("copy %d: cell sizes %d != %d", i, len(ca.elems), len(cb.elems))
+		if len(ca.idx) != len(cb.idx) {
+			t.Fatalf("copy %d: cell sizes %d != %d", i, len(ca.idx), len(cb.idx))
 		}
-		for k, v := range ca.elems {
-			w, ok := cb.elems[k]
-			if !ok || !v.Equal(w) {
+		// Cells are sets keyed by fingerprint; slot assignment is layout,
+		// not state, so compare contents through the index.
+		for k, sa := range ca.idx {
+			sb, ok := cb.idx[k]
+			if !ok || !ca.rows[sa].Equal(cb.rows[sb]) {
 				t.Fatalf("copy %d: cell contents diverge at key %v", i, k)
 			}
 		}
@@ -75,14 +77,13 @@ func requireMinimumEqual(t *testing.T, a, b *Minimum) {
 
 func requireEstimationEqual(t *testing.T, a, b *Estimation) {
 	t.Helper()
-	if len(a.s) != len(b.s) {
-		t.Fatalf("row counts %d != %d", len(a.s), len(b.s))
+	if len(a.s) != len(b.s) || a.thresh != b.thresh {
+		t.Fatalf("grid shapes (%d, %d) != (%d, %d)", len(a.s), a.thresh, len(b.s), b.thresh)
 	}
 	for i := range a.s {
-		for j := range a.s[i] {
-			if a.s[i][j] != b.s[i][j] {
-				t.Fatalf("grid diverges at (%d, %d): %d != %d", i, j, a.s[i][j], b.s[i][j])
-			}
+		if a.s[i] != b.s[i] {
+			t.Fatalf("grid diverges at (%d, %d): %d != %d",
+				i/a.thresh, i%a.thresh, a.s[i], b.s[i])
 		}
 	}
 	requireFMEqual(t, a.fm, b.fm)

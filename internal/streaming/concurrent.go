@@ -1,0 +1,170 @@
+package streaming
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/par"
+)
+
+// Concurrent is a lock-free-ingestion front over any mergeable Sketch:
+// P replicas cloned from one seed (so all replicas share hash draws),
+// each padded onto its own cache lines. Process and ProcessBatch may be
+// called from any number of goroutines concurrently — a caller claims
+// whichever replica it can TryLock first, so ingestion never serialises
+// on a shared lock. Estimate locks all replicas, merges their states into
+// a scratch clone, and caches the answer until the next write.
+//
+// Because every sketch in this package is an idempotent, order-
+// insensitive function of the element set and the replicas share draws,
+// the merged state — and therefore the estimate — does not depend on
+// which replica absorbed which element: fixed-seed estimates are
+// bit-identical to a single serial sketch at every replica count.
+//
+// Estimate, Process, and ProcessBatch are all safe to interleave freely;
+// SketchWords reports the summed replica footprint.
+type Concurrent struct {
+	replicas []replica
+	// rr distributes writers across replicas: each acquisition starts its
+	// TryLock rotation at a different replica.
+	rr atomic.Uint64
+	// version counts completed writes; it is bumped *before* the replica
+	// lock releases, so once Estimate holds every lock the version it
+	// reads covers exactly the writes its merge will see. In-flight
+	// writers are still blocked and bump it later, invalidating the cache.
+	version atomic.Uint64
+
+	estMu    sync.Mutex
+	cached   float64
+	cachedV  uint64
+	hasCache bool
+}
+
+// replica pads each sketch's mutex onto its own cache lines so writers
+// hammering neighbouring replicas never false-share.
+type replica struct {
+	mu sync.Mutex
+	sk Sketch
+	_  [128 - 24]byte
+}
+
+// NewConcurrent wraps seed in a concurrent front with the given number of
+// replicas (≤ 0 selects GOMAXPROCS). The seed is absorbed as replica 0 —
+// callers must not touch it afterwards — and its current state is cloned
+// into every other replica, which is harmless for the merged answer
+// (idempotent set union) and preserves the shared hash draws Merge
+// requires.
+func NewConcurrent(seed Sketch, replicas int) *Concurrent {
+	if replicas < 1 {
+		replicas = par.Workers(0)
+	}
+	c := &Concurrent{replicas: make([]replica, replicas)}
+	c.replicas[0].sk = seed
+	for i := 1; i < replicas; i++ {
+		c.replicas[i].sk = seed.Clone()
+	}
+	return c
+}
+
+// Replicas returns the replica count.
+func (c *Concurrent) Replicas() int { return len(c.replicas) }
+
+// acquire claims a replica without ever blocking on a contended lock
+// while any replica is free: it rotates TryLock attempts starting from a
+// round-robin position and only yields the scheduler after a full idle
+// cycle (every replica busy).
+func (c *Concurrent) acquire() *replica {
+	start := c.rr.Add(1)
+	n := uint64(len(c.replicas))
+	for {
+		for k := uint64(0); k < n; k++ {
+			r := &c.replicas[(start+k)%n]
+			if r.mu.TryLock() {
+				return r
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// release publishes a completed write (invalidating the estimate cache)
+// and frees the replica.
+func (c *Concurrent) release(r *replica) {
+	c.version.Add(1)
+	r.mu.Unlock()
+}
+
+// Process absorbs one element into whichever replica is free.
+func (c *Concurrent) Process(x bitvec.BitVec) {
+	r := c.acquire()
+	r.sk.Process(x)
+	c.release(r)
+}
+
+// ProcessBatch absorbs a chunk of elements into whichever replica is
+// free; the whole chunk lands on one replica, amortising acquisition.
+func (c *Concurrent) ProcessBatch(xs []bitvec.BitVec) {
+	if len(xs) == 0 {
+		return
+	}
+	r := c.acquire()
+	r.sk.ProcessBatch(xs)
+	c.release(r)
+}
+
+// Estimate merges the replicas and returns the combined estimate —
+// bit-identical to a single sketch having ingested every element. The
+// merged answer is cached and reused until the next completed write.
+func (c *Concurrent) Estimate() float64 {
+	c.estMu.Lock()
+	defer c.estMu.Unlock()
+	for i := range c.replicas {
+		c.replicas[i].mu.Lock()
+	}
+	v := c.version.Load()
+	if c.hasCache && v == c.cachedV {
+		c.unlockAll()
+		return c.cached
+	}
+	var est float64
+	if len(c.replicas) == 1 {
+		est = c.replicas[0].sk.Estimate()
+		c.unlockAll()
+	} else {
+		merged := c.replicas[0].sk.Clone()
+		for i := 1; i < len(c.replicas); i++ {
+			if err := merged.Merge(c.replicas[i].sk); err != nil {
+				// Replicas are clones of one seed; a mismatch means the
+				// front's own invariant broke, not a caller error.
+				c.unlockAll()
+				panic("streaming: concurrent replicas diverged: " + err.Error())
+			}
+		}
+		c.unlockAll()
+		est = merged.Estimate()
+	}
+	c.cached, c.cachedV, c.hasCache = est, v, true
+	return est
+}
+
+func (c *Concurrent) unlockAll() {
+	for i := range c.replicas {
+		c.replicas[i].mu.Unlock()
+	}
+}
+
+// SketchWords reports the summed footprint of all replicas.
+func (c *Concurrent) SketchWords() int {
+	total := 0
+	for i := range c.replicas {
+		r := &c.replicas[i]
+		r.mu.Lock()
+		total += r.sk.SketchWords()
+		r.mu.Unlock()
+	}
+	return total
+}
+
+var _ Estimator = (*Concurrent)(nil)

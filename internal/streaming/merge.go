@@ -1,0 +1,307 @@
+package streaming
+
+import (
+	"errors"
+	"maps"
+	"slices"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/hash"
+	"mcf0/internal/par"
+)
+
+// ErrIncompatibleSketch is returned by Merge when the two sketches cannot
+// be combined: different types, dimensions, copy counts — or different
+// hash draws, which would make the merged state meaningless (the sketches
+// would be answering about different random projections of the stream).
+var ErrIncompatibleSketch = errors.New("streaming: sketches are not mergeable (mismatched type, shape, or hash draws)")
+
+// Sketch is an Estimator that also supports in-memory combination. For
+// two sketches built from the same hash draws (same-seed construction or
+// Clone), Merge folds other's state into the receiver so that the result
+// is bit-identical to one sketch having ingested both element streams
+// interleaved in any order: every sketch here is an idempotent,
+// order-insensitive function of the element *set*, so merged(A) ∪
+// merged(B) determines the state regardless of how the elements were
+// partitioned. Merge never mutates other.
+//
+// Clone returns a deep copy sharing the (immutable) hash functions, which
+// is exactly the shared-draw precondition Merge requires; ingestion into
+// the clone never disturbs the original.
+type Sketch interface {
+	Estimator
+	Clone() Sketch
+	Merge(other Sketch) error
+}
+
+// Static interface-compliance checks for every sketch in the package.
+var (
+	_ Sketch = (*Bucketing)(nil)
+	_ Sketch = (*Minimum)(nil)
+	_ Sketch = (*Estimation)(nil)
+	_ Sketch = (*FlajoletMartin)(nil)
+	_ Sketch = (*ExactDistinct)(nil)
+)
+
+// sameLinear reports whether two linear hashes are the same draw, by
+// pointer (the Clone fast path) or by structural equality of Ax+b.
+func sameLinear(a, b *hash.Linear) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.A.Rows() != b.A.Rows() || a.A.Cols() != b.A.Cols() || !a.B.Equal(b.B) {
+		return false
+	}
+	for i := 0; i < a.A.Rows(); i++ {
+		if !a.A.Row(i).Equal(b.A.Row(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameFunc reports whether two hash draws are identical: pointer equality
+// (clones share draws), else structural comparison for the linear and
+// polynomial families.
+func sameFunc(a, b hash.Func) bool {
+	if a == b {
+		return true
+	}
+	if la, ok := a.(*hash.Linear); ok {
+		lb, ok := b.(*hash.Linear)
+		return ok && sameLinear(la, lb)
+	}
+	ca, oka := hash.PolyCoefficients(a)
+	cb, okb := hash.PolyCoefficients(b)
+	return oka && okb && slices.Equal(ca, cb)
+}
+
+// Clone returns a deep copy sharing hash draws, with its own slab.
+func (b *Bucketing) Clone() Sketch {
+	out := &Bucketing{thresh: b.thresh, n: b.n, eng: b.eng}
+	slots := b.thresh + 1
+	rows := bitvec.NewSlab(b.n, len(b.copies)*slots)
+	for i, c := range b.copies {
+		nc := &bucketCopy{
+			h:       c.h, // immutable: sharing it is the mergeability precondition
+			level:   c.level,
+			idx:     maps.Clone(c.idx),
+			rows:    rows[i*slots : (i+1)*slots],
+			keys:    slices.Clone(c.keys),
+			occ:     slices.Clone(c.occ),
+			free:    slices.Clone(c.free),
+			scratch: bitvec.New(b.n),
+		}
+		for s, on := range c.occ {
+			if on {
+				nc.rows[s].CopyFrom(c.rows[s])
+			}
+		}
+		out.copies = append(out.copies, nc)
+	}
+	return out
+}
+
+// Merge folds other's cells into b (set union per copy, re-filtered at
+// the maximum of the two levels, overflowing as usual). The result is
+// bit-identical to b having also ingested other's elements.
+func (b *Bucketing) Merge(other Sketch) error {
+	o, ok := other.(*Bucketing)
+	if !ok || o.thresh != b.thresh || o.n != b.n || len(o.copies) != len(b.copies) {
+		return ErrIncompatibleSketch
+	}
+	for i := range b.copies {
+		if !sameLinear(b.copies[i].h, o.copies[i].h) {
+			return ErrIncompatibleSketch
+		}
+	}
+	for i := range b.copies {
+		b.copies[i].merge(o.copies[i], b.thresh)
+	}
+	return nil
+}
+
+func (c *bucketCopy) merge(o *bucketCopy, thresh int) {
+	if o.level > c.level {
+		c.setLevel(o.level)
+	}
+	for s, on := range o.occ {
+		if !on {
+			continue
+		}
+		if _, dup := c.idx[o.keys[s]]; dup {
+			continue
+		}
+		c.insert(o.keys[s], o.rows[s], thresh)
+	}
+}
+
+// Clone returns a deep copy sharing hash draws, with its own slab.
+func (m *Minimum) Clone() Sketch {
+	out := &Minimum{thresh: m.thresh, n: m.n, eng: m.eng}
+	store := bitvec.NewSlab(3*m.n, len(m.copies)*m.thresh)
+	for i, c := range m.copies {
+		nc := &minCopy{
+			h:       c.h,
+			store:   store[i*m.thresh : (i+1)*m.thresh],
+			scratch: bitvec.New(3 * m.n),
+		}
+		// Copy minima in rank order: the clone's vals is the identity
+		// permutation of its first len(vals) store rows.
+		for j, v := range c.vals {
+			nc.store[j].CopyFrom(v)
+			nc.vals = append(nc.vals, nc.store[j])
+		}
+		out.copies = append(out.copies, nc)
+	}
+	return out
+}
+
+// Merge folds other's minima into m: per copy, the sorted streams of
+// distinct hash values merge and the smallest Thresh survive — exactly
+// the state one sketch ingesting both streams would hold.
+func (m *Minimum) Merge(other Sketch) error {
+	o, ok := other.(*Minimum)
+	if !ok || o.thresh != m.thresh || o.n != m.n || len(o.copies) != len(m.copies) {
+		return ErrIncompatibleSketch
+	}
+	for i := range m.copies {
+		if !sameLinear(m.copies[i].h, o.copies[i].h) {
+			return ErrIncompatibleSketch
+		}
+	}
+	if m.mergeTmp == nil {
+		m.mergeTmp = bitvec.NewSlab(3*m.n, m.thresh)
+	}
+	for i := range m.copies {
+		m.copies[i].merge(o.copies[i], m.thresh, m.mergeTmp)
+	}
+	return nil
+}
+
+// merge performs a two-pointer sorted merge with dedup of both vals lists
+// into tmp (rank order), truncated at thresh, then rewrites the copy's
+// store so vals is again the identity permutation of its prefix.
+func (c *minCopy) merge(o *minCopy, thresh int, tmp []bitvec.BitVec) {
+	k, i, j := 0, 0, 0
+	for k < thresh && (i < len(c.vals) || j < len(o.vals)) {
+		var src bitvec.BitVec
+		switch {
+		case i >= len(c.vals):
+			src, j = o.vals[j], j+1
+		case j >= len(o.vals):
+			src, i = c.vals[i], i+1
+		case c.vals[i].Less(o.vals[j]):
+			src, i = c.vals[i], i+1
+		case o.vals[j].Less(c.vals[i]):
+			src, j = o.vals[j], j+1
+		default: // equal hash value in both: keep one
+			src, i, j = c.vals[i], i+1, j+1
+		}
+		tmp[k].CopyFrom(src)
+		k++
+	}
+	c.vals = c.vals[:0]
+	for r := 0; r < k; r++ {
+		c.store[r].CopyFrom(tmp[r])
+		c.vals = append(c.vals, c.store[r])
+	}
+}
+
+// Clone returns a deep copy sharing the hash grid, with its own
+// trailing-zero slab and FM tracker.
+func (e *Estimation) Clone() Sketch {
+	return &Estimation{
+		thresh:  e.thresh,
+		n:       e.n,
+		hs:      e.hs,  // immutable grid of draws, shared
+		u64:     e.u64, // ditto (integer mirror)
+		s:       slices.Clone(e.s),
+		fm:      e.fm.Clone().(*FlajoletMartin),
+		eng:     e.eng,
+		scratch: par.ShardScratch(e.eng.workers, func() bitvec.BitVec { return bitvec.New(e.n) }),
+	}
+}
+
+// Merge takes the pointwise maximum of the trailing-zero grids (the max
+// over a union of streams is the max of the per-stream maxima) and merges
+// the parallel FM trackers.
+func (e *Estimation) Merge(other Sketch) error {
+	o, ok := other.(*Estimation)
+	if !ok || o.thresh != e.thresh || o.n != e.n || len(o.hs) != len(e.hs) {
+		return ErrIncompatibleSketch
+	}
+	for i := range e.hs {
+		if len(o.hs[i]) != len(e.hs[i]) {
+			return ErrIncompatibleSketch
+		}
+		for j := range e.hs[i] {
+			if !sameFunc(e.hs[i][j], o.hs[i][j]) {
+				return ErrIncompatibleSketch
+			}
+		}
+	}
+	if err := e.fm.Merge(o.fm); err != nil {
+		return err
+	}
+	for i, v := range o.s {
+		if v > e.s[i] {
+			e.s[i] = v
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy sharing hash draws.
+func (f *FlajoletMartin) Clone() Sketch {
+	n := 0
+	if len(f.hs) > 0 {
+		n = f.hs[0].OutBits()
+	}
+	return &FlajoletMartin{
+		hs:      f.hs,
+		u64:     f.u64,
+		max:     slices.Clone(f.max),
+		eng:     f.eng,
+		scratch: par.ShardScratch(f.eng.workers, func() bitvec.BitVec { return bitvec.New(n) }),
+	}
+}
+
+// Merge takes the pointwise maximum of the per-copy counters.
+func (f *FlajoletMartin) Merge(other Sketch) error {
+	o, ok := other.(*FlajoletMartin)
+	if !ok || len(o.hs) != len(f.hs) {
+		return ErrIncompatibleSketch
+	}
+	for i := range f.hs {
+		if !sameLinear(f.hs[i], o.hs[i]) {
+			return ErrIncompatibleSketch
+		}
+	}
+	for i, v := range o.max {
+		if v > f.max[i] {
+			f.max[i] = v
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the exact set.
+func (e *ExactDistinct) Clone() Sketch {
+	return &ExactDistinct{seen: maps.Clone(e.seen), n: e.n}
+}
+
+// Merge unions the exact sets.
+func (e *ExactDistinct) Merge(other Sketch) error {
+	o, ok := other.(*ExactDistinct)
+	if !ok || o.n != e.n {
+		return ErrIncompatibleSketch
+	}
+	for k := range o.seen {
+		e.seen[k] = struct{}{}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package streaming
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/stats"
+)
+
+// mergeOpts builds same-seed Options so two sketches share hash draws.
+func mergeOpts(seed uint64, par int) Options {
+	return Options{Epsilon: 0.8, Delta: 0.2, Thresh: 12, Iterations: 7,
+		RNG: stats.NewRNG(seed), Parallelism: par}
+}
+
+// Merge differential: for every sketch, feeding the stream halves into
+// two same-seed sketches and merging must leave state bit-identical to
+// one sketch ingesting the concatenated stream — at every parallelism
+// level, for both merge directions.
+func TestMergeVsSingleDifferential(t *testing.T) {
+	n := 32
+	stream := dupStream(n, 1600, stats.NewRNG(0x3e63e))
+	half := len(stream) / 2
+	for _, par := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		whole := NewBucketing(n, mergeOpts(41, 1))
+		left := NewBucketing(n, mergeOpts(41, par))
+		right := NewBucketing(n, mergeOpts(41, par))
+		feedChunks(whole, stream)
+		feedChunks(left, stream[:half])
+		feedChunks(right, stream[half:])
+		if err := left.Merge(right); err != nil {
+			t.Fatalf("par=%d: bucketing merge: %v", par, err)
+		}
+		requireBucketingEqual(t, whole, left)
+		if whole.Estimate() != left.Estimate() {
+			t.Fatalf("par=%d: bucketing estimates diverge", par)
+		}
+
+		mWhole := NewMinimum(n, mergeOpts(42, 1))
+		mLeft := NewMinimum(n, mergeOpts(42, par))
+		mRight := NewMinimum(n, mergeOpts(42, par))
+		feedChunks(mWhole, stream)
+		// Merge in the reverse direction too: absorb the left half INTO the
+		// right half, exercising both operand orders across sketches.
+		feedChunks(mLeft, stream[:half])
+		feedChunks(mRight, stream[half:])
+		if err := mRight.Merge(mLeft); err != nil {
+			t.Fatalf("par=%d: minimum merge: %v", par, err)
+		}
+		requireMinimumEqual(t, mWhole, mRight)
+		if mWhole.Estimate() != mRight.Estimate() {
+			t.Fatalf("par=%d: minimum estimates diverge", par)
+		}
+
+		eo := mergeOpts(43, par)
+		eo.Thresh = 8
+		eo.Iterations = 3
+		eWholeOpts := eo
+		eWholeOpts.RNG = stats.NewRNG(43)
+		eWholeOpts.Parallelism = 1
+		eWhole := NewEstimation(n, eWholeOpts)
+		eLeftOpts := eo
+		eLeftOpts.RNG = stats.NewRNG(43)
+		eLeft := NewEstimation(n, eLeftOpts)
+		eRightOpts := eo
+		eRightOpts.RNG = stats.NewRNG(43)
+		eRight := NewEstimation(n, eRightOpts)
+		feedChunks(eWhole, stream)
+		feedChunks(eLeft, stream[:half])
+		feedChunks(eRight, stream[half:])
+		if err := eLeft.Merge(eRight); err != nil {
+			t.Fatalf("par=%d: estimation merge: %v", par, err)
+		}
+		requireEstimationEqual(t, eWhole, eLeft)
+		if eWhole.Estimate() != eLeft.Estimate() {
+			t.Fatalf("par=%d: estimation estimates diverge", par)
+		}
+
+		fWhole := NewFlajoletMartin(n, mergeOpts(44, 1))
+		fLeft := NewFlajoletMartin(n, mergeOpts(44, par))
+		fRight := NewFlajoletMartin(n, mergeOpts(44, par))
+		feedChunks(fWhole, stream)
+		feedChunks(fLeft, stream[:half])
+		feedChunks(fRight, stream[half:])
+		if err := fLeft.Merge(fRight); err != nil {
+			t.Fatalf("par=%d: fm merge: %v", par, err)
+		}
+		requireFMEqual(t, fWhole, fLeft)
+
+		xWhole := NewExactDistinct(n)
+		xLeft := NewExactDistinct(n)
+		xRight := NewExactDistinct(n)
+		feedChunks(xWhole, stream)
+		feedChunks(xLeft, stream[:half])
+		feedChunks(xRight, stream[half:])
+		if err := xLeft.Merge(xRight); err != nil {
+			t.Fatalf("par=%d: exact merge: %v", par, err)
+		}
+		if xWhole.Count() != xLeft.Count() {
+			t.Fatalf("par=%d: exact counts diverge", par)
+		}
+	}
+}
+
+// Merging three ways and in shuffled order must agree with two (the merge
+// is the set union: associative, commutative, idempotent).
+func TestMergeThreeWayAndSelf(t *testing.T) {
+	n := 32
+	stream := dupStream(n, 1200, stats.NewRNG(0x7733))
+	third := len(stream) / 3
+	whole := NewBucketing(n, mergeOpts(91, 1))
+	feedChunks(whole, stream)
+	parts := make([]*Bucketing, 3)
+	bounds := [][2]int{{0, third}, {third, 2 * third}, {2 * third, len(stream)}}
+	for i, bd := range bounds {
+		parts[i] = NewBucketing(n, mergeOpts(91, 1))
+		feedChunks(parts[i], stream[bd[0]:bd[1]])
+	}
+	// Shuffled merge order: 2 ← 0, then 2 ← 1.
+	if err := parts[2].Merge(parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := parts[2].Merge(parts[1]); err != nil {
+		t.Fatal(err)
+	}
+	requireBucketingEqual(t, whole, parts[2])
+	// Self-merge is a no-op (idempotence).
+	if err := parts[2].Merge(parts[2].Clone().(*Bucketing)); err != nil {
+		t.Fatal(err)
+	}
+	requireBucketingEqual(t, whole, parts[2])
+}
+
+// Clones must not share mutable state with their original: feeding the
+// clone leaves the original bit-identical to an untouched twin.
+func TestCloneIndependence(t *testing.T) {
+	n := 32
+	stream := dupStream(n, 900, stats.NewRNG(0xc10e))
+	extra := dupStream(n, 900, stats.NewRNG(0xc10f))
+
+	b := NewBucketing(n, mergeOpts(51, 1))
+	twin := NewBucketing(n, mergeOpts(51, 1))
+	feedChunks(b, stream)
+	feedChunks(twin, stream)
+	bc := b.Clone().(*Bucketing)
+	requireBucketingEqual(t, b, bc)
+	feedChunks(bc, extra)
+	requireBucketingEqual(t, b, twin)
+
+	m := NewMinimum(n, mergeOpts(52, 1))
+	mTwin := NewMinimum(n, mergeOpts(52, 1))
+	feedChunks(m, stream)
+	feedChunks(mTwin, stream)
+	mc := m.Clone().(*Minimum)
+	requireMinimumEqual(t, m, mc)
+	feedChunks(mc, extra)
+	requireMinimumEqual(t, m, mTwin)
+
+	eo := mergeOpts(53, 1)
+	eo.Thresh = 8
+	eo.Iterations = 3
+	e := NewEstimation(n, eo)
+	eo2 := mergeOpts(53, 1)
+	eo2.Thresh = 8
+	eo2.Iterations = 3
+	eTwin := NewEstimation(n, eo2)
+	feedChunks(e, stream)
+	feedChunks(eTwin, stream)
+	ec := e.Clone().(*Estimation)
+	requireEstimationEqual(t, e, ec)
+	feedChunks(ec, extra)
+	requireEstimationEqual(t, e, eTwin)
+}
+
+// Sketches with different draws, shapes, or types must refuse to merge.
+func TestMergeIncompatible(t *testing.T) {
+	n := 32
+	a := NewBucketing(n, mergeOpts(61, 1))
+	b := NewBucketing(n, mergeOpts(62, 1)) // different seed → different draws
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different draws must fail")
+	}
+	small := mergeOpts(61, 1)
+	small.Thresh = 6
+	c := NewBucketing(n, small)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging different thresholds must fail")
+	}
+	m := NewMinimum(n, mergeOpts(61, 1))
+	if err := a.Merge(m); err == nil {
+		t.Fatal("merging different sketch types must fail")
+	}
+}
+
+// Concurrent determinism matrix: sequential ingestion through the
+// concurrent front must produce estimates bit-identical to the plain
+// serial sketch at every replica count.
+func TestConcurrentDeterminism(t *testing.T) {
+	n := 32
+	stream := dupStream(n, 1500, stats.NewRNG(0xc0c0))
+	serial := NewBucketing(n, mergeOpts(71, 1))
+	feedChunks(serial, stream)
+	want := serial.Estimate()
+	for _, reps := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		front := NewConcurrent(NewBucketing(n, mergeOpts(71, 1)), reps)
+		feedChunks(front, stream)
+		if got := front.Estimate(); got != want {
+			t.Fatalf("replicas=%d: estimate %v != serial %v", reps, got, want)
+		}
+		// The cache must survive repeated reads and invalidate on write.
+		if got := front.Estimate(); got != want {
+			t.Fatalf("replicas=%d: cached estimate diverged", reps)
+		}
+		front.Process(bitvec.FromUint64(1<<31-1, n))
+		serial2 := NewBucketing(n, mergeOpts(71, 1))
+		feedChunks(serial2, stream)
+		serial2.Process(bitvec.FromUint64(1<<31-1, n))
+		if got, want2 := front.Estimate(), serial2.Estimate(); got != want2 {
+			t.Fatalf("replicas=%d: post-write estimate %v != serial %v", reps, got, want2)
+		}
+	}
+}
+
+// Race hammer: concurrent producers with interleaved Estimate calls, for
+// every sketch type, checked against serial ingestion of the same
+// element set. Run under -race in CI.
+func TestConcurrentHammerRace(t *testing.T) {
+	n := 32
+	producers := 8
+	perProducer := 400
+	reps := runtime.GOMAXPROCS(0)
+	streams := make([][]bitvec.BitVec, producers)
+	var all []bitvec.BitVec
+	for p := range streams {
+		streams[p] = dupStream(n, perProducer, stats.NewRNG(uint64(0xa0+p)))
+		all = append(all, streams[p]...)
+	}
+
+	seeds := map[string]func() Sketch{
+		"bucketing": func() Sketch { return NewBucketing(n, mergeOpts(81, 1)) },
+		"minimum":   func() Sketch { return NewMinimum(n, mergeOpts(82, 1)) },
+		"fm":        func() Sketch { return NewFlajoletMartin(n, mergeOpts(83, 1)) },
+		"exact":     func() Sketch { return NewExactDistinct(n) },
+	}
+	for name, mk := range seeds {
+		t.Run(name, func(t *testing.T) {
+			serial := mk()
+			for _, x := range all {
+				serial.Process(x)
+			}
+			want := serial.Estimate()
+
+			front := NewConcurrent(mk(), reps)
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(xs []bitvec.BitVec) {
+					defer wg.Done()
+					for i := 0; i < len(xs); i += 16 {
+						hi := min(i+16, len(xs))
+						front.ProcessBatch(xs[i:hi])
+						if i%128 == 0 {
+							front.Process(xs[i])
+						}
+					}
+				}(streams[p])
+			}
+			// Interleave estimates (and footprint reads) with ingestion.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 50; i++ {
+					front.Estimate()
+					front.SketchWords()
+				}
+			}()
+			wg.Wait()
+			<-done
+			if got := front.Estimate(); got != want {
+				t.Fatalf("hammered estimate %v != serial %v", got, want)
+			}
+		})
+	}
+}

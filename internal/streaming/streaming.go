@@ -166,20 +166,28 @@ func (e *ExactDistinct) Count() int { return len(e.seen) }
 // Gibbons–Tirthapura adaptive-sampling bucket.
 type Bucketing struct {
 	thresh int
+	n      int
 	copies []*bucketCopy
 	eng    engine
 	keys   []bitvec.Fingerprint // batch fingerprint scratch
 	one    [1]bitvec.BitVec
 }
 
+// bucketCopy stores its cell as a slot table over rows carved from one
+// contiguous slab shared by every copy of the sketch (thresh+1 slots per
+// copy: the overflow loop runs after insertion, so occupancy transiently
+// reaches thresh+1). Raising the level re-filters with one linear walk
+// over the slab instead of iterating a map of scattered heap vectors.
 type bucketCopy struct {
 	h     *hash.Linear
 	level int
-	// elems maps element fingerprints to their full hash value, so raising
-	// the level can re-filter without rehashing.
-	elems map[bitvec.Fingerprint]bitvec.BitVec
-	// scratch holds one hash evaluation; an element's hash is only cloned
-	// into the map when it actually enters the cell.
+	idx   map[bitvec.Fingerprint]int32 // element fingerprint → occupied slot
+	rows  []bitvec.BitVec              // slab rows: hash values, addressed by slot
+	keys  []bitvec.Fingerprint         // keys[slot], valid while occ[slot]
+	occ   []bool
+	free  []int32 // stack of unoccupied slots
+	// scratch holds one hash evaluation; it is copied into a slab row only
+	// when the element actually enters the cell.
 	scratch bitvec.BitVec
 }
 
@@ -188,33 +196,70 @@ type bucketCopy struct {
 func NewBucketing(n int, opts Options) *Bucketing {
 	rng := opts.rng()
 	fam := hash.NewToeplitz(n, n)
-	b := &Bucketing{thresh: opts.thresh(), eng: newEngine(opts.Parallelism, minBatchCheap)}
-	for i := 0; i < opts.iterations(); i++ {
-		b.copies = append(b.copies, &bucketCopy{
-			h:       fam.Draw(rng.Uint64).(*hash.Linear),
-			elems:   map[bitvec.Fingerprint]bitvec.BitVec{},
-			scratch: bitvec.New(n),
-		})
+	b := &Bucketing{thresh: opts.thresh(), n: n, eng: newEngine(opts.Parallelism, minBatchCheap)}
+	t := opts.iterations()
+	slots := b.thresh + 1
+	rows := bitvec.NewSlab(n, t*slots)
+	for i := 0; i < t; i++ {
+		b.copies = append(b.copies, newBucketCopy(
+			fam.Draw(rng.Uint64).(*hash.Linear), rows[i*slots:(i+1)*slots], n))
 	}
 	return b
 }
 
+func newBucketCopy(h *hash.Linear, rows []bitvec.BitVec, n int) *bucketCopy {
+	c := &bucketCopy{
+		h:       h,
+		idx:     make(map[bitvec.Fingerprint]int32, len(rows)),
+		rows:    rows,
+		keys:    make([]bitvec.Fingerprint, len(rows)),
+		occ:     make([]bool, len(rows)),
+		free:    make([]int32, 0, len(rows)),
+		scratch: bitvec.New(n),
+	}
+	for s := len(rows) - 1; s >= 0; s-- {
+		c.free = append(c.free, int32(s))
+	}
+	return c
+}
+
 // absorb runs lines 3–11 of Algorithm 3 for one copy and one element.
 func (c *bucketCopy) absorb(x bitvec.BitVec, key bitvec.Fingerprint, thresh int) {
-	if _, ok := c.elems[key]; ok {
+	if _, ok := c.idx[key]; ok {
 		return
 	}
 	c.h.EvalInto(x, c.scratch)
-	if !c.scratch.HasZeroPrefix(c.level) {
+	c.insert(key, c.scratch, thresh)
+}
+
+// insert places an already-evaluated hash value into the cell (lines 5–11
+// of Algorithm 3): filter at the current level, store into a free slot,
+// and raise the level until the cell fits again. Shared by ingestion
+// (absorb) and Merge; callers have already rejected duplicate keys.
+func (c *bucketCopy) insert(key bitvec.Fingerprint, hy bitvec.BitVec, thresh int) {
+	if !hy.HasZeroPrefix(c.level) {
 		return
 	}
-	c.elems[key] = c.scratch.Clone()
-	for len(c.elems) > thresh {
-		c.level++
-		for k, hy := range c.elems {
-			if !hy.HasZeroPrefix(c.level) {
-				delete(c.elems, k)
-			}
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.rows[slot].CopyFrom(hy)
+	c.keys[slot] = key
+	c.occ[slot] = true
+	c.idx[key] = slot
+	for len(c.idx) > thresh {
+		c.setLevel(c.level + 1)
+	}
+}
+
+// setLevel raises the sampling level and evicts the hash values that lose
+// their all-zero prefix, scanning the slots in slab order.
+func (c *bucketCopy) setLevel(level int) {
+	c.level = level
+	for s := range c.rows {
+		if c.occ[s] && !c.rows[s].HasZeroPrefix(level) {
+			delete(c.idx, c.keys[s])
+			c.occ[s] = false
+			c.free = append(c.free, int32(s))
 		}
 	}
 }
@@ -258,18 +303,17 @@ func (b *Bucketing) ProcessBatch(xs []bitvec.BitVec) {
 func (b *Bucketing) Estimate() float64 {
 	ests := make([]float64, len(b.copies))
 	for i, c := range b.copies {
-		ests[i] = float64(len(c.elems)) * pow2(c.level)
+		ests[i] = float64(len(c.idx)) * pow2(c.level)
 	}
 	return stats.Median(ests)
 }
 
-// SketchWords reports the bucket contents' footprint.
+// SketchWords reports the live bucket contents' footprint.
 func (b *Bucketing) SketchWords() int {
 	total := 0
+	wpr := (b.n + 63) / 64
 	for _, c := range b.copies {
-		for _, hy := range c.elems {
-			total += (hy.Len() + 63) / 64
-		}
+		total += len(c.idx) * wpr
 	}
 	return total
 }
@@ -290,17 +334,27 @@ func (b *Bucketing) MaxLevel() int {
 // H_Toeplitz(n, 3n).
 type Minimum struct {
 	thresh int
+	n      int
 	copies []*minCopy
 	eng    engine
-	one    [1]bitvec.BitVec
+	// mergeTmp is Merge's rank-order staging area (thresh slab rows),
+	// allocated on first Merge and reused across copies.
+	mergeTmp []bitvec.BitVec
+	one      [1]bitvec.BitVec
 }
 
+// minCopy keeps its minima in rows carved from one contiguous slab shared
+// by every copy of the sketch: vals is a sorted permutation of the first
+// len(vals) store rows (headers move on insert, row data stays put), so
+// absorb's shift-and-insert streams over one allocation.
 type minCopy struct {
-	h    *hash.Linear
-	vals []bitvec.BitVec // sorted ascending, ≤ thresh distinct values
-	// scratch holds the current evaluation; it is cloned only when the
-	// value actually enters the sketch, so elements hashing above the
-	// current maximum (the steady-state common case) cost no allocation.
+	h     *hash.Linear
+	vals  []bitvec.BitVec // sorted ascending, ≤ thresh distinct values
+	store []bitvec.BitVec // thresh slab rows backing vals
+	// scratch holds the current evaluation; it is copied into a store row
+	// only when the value actually enters the sketch, so elements hashing
+	// above the current maximum (the steady-state common case) cost no
+	// data movement.
 	scratch bitvec.BitVec
 }
 
@@ -308,10 +362,13 @@ type minCopy struct {
 func NewMinimum(n int, opts Options) *Minimum {
 	rng := opts.rng()
 	fam := hash.NewToeplitz(n, 3*n)
-	m := &Minimum{thresh: opts.thresh(), eng: newEngine(opts.Parallelism, minBatchCheap)}
-	for i := 0; i < opts.iterations(); i++ {
+	m := &Minimum{thresh: opts.thresh(), n: n, eng: newEngine(opts.Parallelism, minBatchCheap)}
+	t := opts.iterations()
+	store := bitvec.NewSlab(3*n, t*m.thresh)
+	for i := 0; i < t; i++ {
 		m.copies = append(m.copies, &minCopy{
 			h:       fam.Draw(rng.Uint64).(*hash.Linear),
+			store:   store[i*m.thresh : (i+1)*m.thresh],
 			scratch: bitvec.New(3 * n),
 		})
 	}
@@ -327,9 +384,13 @@ func (c *minCopy) absorb(x bitvec.BitVec, thresh int) {
 		return // already present
 	}
 	if len(c.vals) < thresh {
+		// Rows enter vals only from store in order (and evictions recycle
+		// in place), so store[len(vals)] is always the next unused row.
+		row := c.store[len(c.vals)]
 		c.vals = append(c.vals, bitvec.BitVec{})
 		copy(c.vals[idx+1:], c.vals[idx:])
-		c.vals[idx] = y.Clone()
+		row.CopyFrom(y)
+		c.vals[idx] = row
 	} else if idx < len(c.vals) {
 		// y is smaller than the current maximum: replace it. Recycle
 		// the evicted maximum's storage instead of allocating.
@@ -410,7 +471,10 @@ type Estimation struct {
 	// u64 mirrors hs via the integer fast path when every hash supports it
 	// (the polynomial family always does); nil otherwise.
 	u64 [][]hash.Uint64Hash
-	s   [][]int // S[i][j]: max trailing zeros seen
+	// s is the t × Thresh grid of max trailing-zero counts, flattened to
+	// one contiguous slab: cell (i, j) lives at s[i*thresh+j], so a row
+	// absorb streams linearly and Merge is one pointwise-max sweep.
+	s   []int
 	fm  *FlajoletMartin
 	eng engine
 	// scratch holds one hash-output buffer per pool shard (generic path).
@@ -437,11 +501,14 @@ func NewEstimation(n int, opts Options) *Estimation {
 		eng:     newEngine(opts.Parallelism, minBatchEstimation),
 		scratch: par.ShardScratch(opts.parallelism(), func() bitvec.BitVec { return bitvec.New(n) }),
 	}
+	e.s = make([]int, t*thresh)
+	for i := range e.s {
+		e.s[i] = -1
+	}
 	allU64 := true
 	for i := 0; i < t; i++ {
 		var row []hash.Func
 		var urow []hash.Uint64Hash
-		var srow []int
 		for j := 0; j < thresh; j++ {
 			h := fam.Draw(rng.Uint64)
 			row = append(row, h)
@@ -450,11 +517,9 @@ func NewEstimation(n int, opts Options) *Estimation {
 			} else {
 				allU64 = false
 			}
-			srow = append(srow, -1)
 		}
 		e.hs = append(e.hs, row)
 		e.u64 = append(e.u64, urow)
-		e.s = append(e.s, srow)
 	}
 	if !allU64 {
 		e.u64 = nil
@@ -505,9 +570,12 @@ func (e *Estimation) ProcessBatch(xs []bitvec.BitVec) {
 	e.fm.ProcessBatch(xs)
 }
 
+// row returns grid row i of the flat trailing-zero slab.
+func (e *Estimation) row(i int) []int { return e.s[i*e.thresh : (i+1)*e.thresh] }
+
 // absorbRowU64 folds a converted batch into grid row i (integer path).
 func (e *Estimation) absorbRowU64(i int, xvs []uint64) {
-	srow := e.s[i]
+	srow := e.row(i)
 	for _, xv := range xvs {
 		for j, u := range e.u64[i] {
 			y := u.EvalUint64(xv)
@@ -524,7 +592,7 @@ func (e *Estimation) absorbRowU64(i int, xvs []uint64) {
 
 // absorbRow folds a batch into grid row i via the generic hash interface.
 func (e *Estimation) absorbRow(i int, xs []bitvec.BitVec, scratch bitvec.BitVec) {
-	srow := e.s[i]
+	srow := e.row(i)
 	for _, x := range xs {
 		for j, h := range e.hs[i] {
 			if tz := hash.EvalTrailingZeros(h, x, scratch); tz > srow[j] {
@@ -536,10 +604,10 @@ func (e *Estimation) absorbRow(i int, xs []bitvec.BitVec, scratch bitvec.BitVec)
 
 // EstimateWithR evaluates the Lemma 3 estimator at range parameter r.
 func (e *Estimation) EstimateWithR(r int) float64 {
-	ests := make([]float64, len(e.s))
-	for i, row := range e.s {
+	ests := make([]float64, len(e.hs))
+	for i := range ests {
 		hits := 0
-		for _, v := range row {
+		for _, v := range e.row(i) {
 			if v >= r {
 				hits++
 			}
@@ -566,7 +634,7 @@ func (e *Estimation) SuggestR() int {
 }
 
 // SketchWords reports the trailing-zero grid footprint.
-func (e *Estimation) SketchWords() int { return len(e.s) * e.thresh }
+func (e *Estimation) SketchWords() int { return len(e.s) }
 
 // FlajoletMartin is the classical rough estimator: the maximum trailing
 // zero count r of a single pairwise-independent hash over the stream gives

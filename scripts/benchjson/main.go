@@ -96,6 +96,7 @@ func main() {
 	out := flag.String("out", "BENCH.json", "output JSON path")
 	flag.Var(&baselines, "baseline", "baseline benchmark output file (repeatable)")
 	flag.Var(&currents, "current", "current benchmark output file (repeatable)")
+	note := flag.String("note", "", "environment caveat appended to the output note")
 	flag.Parse()
 
 	base := map[string]*Metrics{}
@@ -162,6 +163,9 @@ func main() {
 	}{
 		Note:       "ns/op, B/op, allocs/op from `go test -bench -benchmem`; baseline = pre-change tree, current = this PR. Regenerate with scripts/bench.sh.",
 		Benchmarks: ordered,
+	}
+	if *note != "" {
+		doc.Note += " " + *note
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
