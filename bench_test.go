@@ -670,6 +670,44 @@ func BenchmarkConcurrentIngest(b *testing.B) {
 	})
 }
 
+// BenchmarkSketchMarshalRoundTrip times the PR-7 tentpole: one complete
+// marshal → unmarshal cycle of a loaded F0 sketch per op — the snapshot
+// cost of the versioned wire codec, covering hash-draw serialization,
+// canonical state packing, and validated decode. snapshot-bytes reports
+// the encoded size per algorithm.
+func BenchmarkSketchMarshalRoundTrip(b *testing.B) {
+	cfg := Config{Epsilon: 0.8, Delta: 0.2, Thresh: 24, Iterations: 7, Seed: 35, Parallelism: 1}
+	xs := make([]uint64, 4096)
+	for i := range xs {
+		xs[i] = uint64(i) * 2654435761 % (1 << 20)
+	}
+	for _, alg := range []Algorithm{AlgorithmBucketing, AlgorithmMinimum, AlgorithmEstimation} {
+		f, err := NewF0(32, alg, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.AddBatch(xs)
+		blob, err := f.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				enc, err := f.MarshalBinary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				dec, err := DecodeF0(enc, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkFloat = dec.Estimate()
+			}
+			b.ReportMetric(float64(len(blob)), "snapshot-bytes")
+		})
+	}
+}
+
 // BenchmarkEndToEnd runs the full public-API paths once per iteration.
 func BenchmarkEndToEnd(b *testing.B) {
 	terms := [][]int{{1, 2}, {-3, 4, 5}, {6, -7}}

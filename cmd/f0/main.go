@@ -17,6 +17,11 @@
 //	-replicas int   element streams only: ingest through a lock-free
 //	                ConcurrentF0 with this many replicas fed by as many
 //	                goroutines (0 = off, -1 = GOMAXPROCS)
+//	-snapshot path  after ingesting, write the sketch's complete state
+//	                (versioned wire codec) to path
+//	-restore path   before ingesting, seed the sketch from a snapshot —
+//	                crash recovery: restore + remainder of the stream is
+//	                bit-identical to one uninterrupted run
 //	-eps, -delta, -thresh, -iters, -seed   as in approxmc
 //
 // Items are ingested in chunks of 256 so the sketch copies fan out across
@@ -51,6 +56,8 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "random seed")
 		par   = flag.Int("par", 0, "sketch-copy worker pool (0 = GOMAXPROCS, 1 = serial)")
 		reps  = flag.Int("replicas", 0, "element streams: lock-free ConcurrentF0 replicas (0 = off, -1 = GOMAXPROCS)")
+		snap  = flag.String("snapshot", "", "write the sketch snapshot to this file after ingesting")
+		rest  = flag.String("restore", "", "seed the sketch from this snapshot file before ingesting")
 	)
 	flag.Parse()
 	if *nvars == 0 {
@@ -86,12 +93,7 @@ func main() {
 		concChunks chan []uint64
 		concWG     sync.WaitGroup
 	)
-	startConc := func() {
-		var err error
-		concSketch, err = mcf0.NewConcurrentF0(*bits, mcf0.Algorithm(*alg), cfg, *reps)
-		if err != nil {
-			fatal(err)
-		}
+	startFeeders := func() {
 		concChunks = make(chan []uint64, 4*concSketch.Replicas())
 		for w := 0; w < concSketch.Replicas(); w++ {
 			concWG.Add(1)
@@ -101,6 +103,42 @@ func main() {
 					concSketch.AddBatch(chunk)
 				}
 			}()
+		}
+	}
+	startConc := func() {
+		var err error
+		concSketch, err = mcf0.NewConcurrentF0(*bits, mcf0.Algorithm(*alg), cfg, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		startFeeders()
+	}
+
+	// Crash recovery: a snapshot written by -snapshot (or any
+	// MarshalBinary blob) seeds the matching sketch, and the rest of the
+	// stream continues it — restore + remainder is bit-identical to one
+	// uninterrupted run, because snapshots round-trip complete state.
+	var restoredKind string
+	if *rest != "" {
+		blob, err := os.ReadFile(*rest)
+		if err != nil {
+			fatal(err)
+		}
+		elemSketch, concSketch, rangeSketch, progSketch, dnfSketch, err =
+			decodeSnapshot(blob, *par, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		restoredKind, _ = mcf0.SnapshotKind(blob)
+		if concSketch != nil {
+			startFeeders()
+		}
+	}
+	// A restored snapshot fixes the stream kind: items that would build a
+	// *different* sketch are a wrong-mode restore, not a fresh stream.
+	guardRestore := func(want string) {
+		if restoredKind != "" {
+			fatal(fmt.Errorf("%s items do not match the restored %s snapshot", want, restoredKind))
 		}
 	}
 
@@ -163,6 +201,7 @@ func main() {
 				continue
 			}
 			if elemSketch == nil && concSketch == nil {
+				guardRestore("element")
 				if *reps != 0 {
 					startConc()
 				} else {
@@ -179,6 +218,7 @@ func main() {
 			}
 		case "r":
 			if rangeSketch == nil {
+				guardRestore("range")
 				widths := make([]int, *dims)
 				for i := range widths {
 					widths[i] = *bits
@@ -203,6 +243,7 @@ func main() {
 			}
 		case "p":
 			if progSketch == nil {
+				guardRestore("progression")
 				var err error
 				progSketch, err = mcf0.NewProgressionF0([]int{*bits}, cfg)
 				if err != nil {
@@ -222,6 +263,7 @@ func main() {
 			}
 		case "d":
 			if dnfSketch == nil {
+				guardRestore("DNF")
 				dnfSketch = mcf0.NewDNFSetF0(*nvars, cfg)
 			}
 			terms, err := parseTerms(args)
@@ -260,8 +302,68 @@ func main() {
 	default:
 		fatal(fmt.Errorf("empty stream"))
 	}
+	if *snap != "" {
+		blob, err := encodeSnapshot(elemSketch, concSketch, rangeSketch, progSketch, dnfSketch)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*snap, blob, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("items %d\n", items)
 	fmt.Printf("f0 %.6g\n", est)
+}
+
+// decodeSnapshot restores a snapshot blob into the sketch slot matching
+// its wire kind (exactly one of the returned sketches is non-nil). An F0
+// snapshot lands on the concurrent front when reps requests one, so a
+// serial run can be resumed concurrently and vice versa; kinds with no
+// input mode here (e.g. affine streams) are refused by name.
+func decodeSnapshot(blob []byte, par, reps int) (*mcf0.F0, *mcf0.ConcurrentF0, *mcf0.RangeF0, *mcf0.ProgressionF0, *mcf0.DNFSetF0, error) {
+	kind, err := mcf0.SnapshotKind(blob)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	switch kind {
+	case "mcf0.F0":
+		if reps != 0 {
+			c, err := mcf0.DecodeConcurrentF0(blob, reps)
+			return nil, c, nil, nil, nil, err
+		}
+		f, err := mcf0.DecodeF0(blob, par)
+		return f, nil, nil, nil, nil, err
+	case "mcf0.RangeF0":
+		r, err := mcf0.DecodeRangeF0(blob, par)
+		return nil, nil, r, nil, nil, err
+	case "mcf0.ProgressionF0":
+		p, err := mcf0.DecodeProgressionF0(blob, par)
+		return nil, nil, nil, p, nil, err
+	case "mcf0.DNFSetF0":
+		d, err := mcf0.DecodeDNFSetF0(blob, par)
+		return nil, nil, nil, nil, d, err
+	default:
+		return nil, nil, nil, nil, nil, fmt.Errorf("snapshot kind %s has no f0 input mode", kind)
+	}
+}
+
+// encodeSnapshot marshals whichever sketch the run built (the concurrent
+// front snapshots as a plain F0 message).
+func encodeSnapshot(elem *mcf0.F0, conc *mcf0.ConcurrentF0, rng *mcf0.RangeF0, prog *mcf0.ProgressionF0, dnf *mcf0.DNFSetF0) ([]byte, error) {
+	switch {
+	case conc != nil:
+		return conc.MarshalBinary()
+	case elem != nil:
+		return elem.MarshalBinary()
+	case rng != nil:
+		return rng.MarshalBinary()
+	case prog != nil:
+		return prog.MarshalBinary()
+	case dnf != nil:
+		return dnf.MarshalBinary()
+	default:
+		return nil, fmt.Errorf("nothing to snapshot")
+	}
 }
 
 func parseTerms(args []string) ([][]int, error) {

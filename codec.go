@@ -1,0 +1,267 @@
+// Wire codec for the public estimator types: every sketch wrapper
+// implements encoding.BinaryMarshaler / encoding.BinaryUnmarshaler, and
+// package-level Decode functions restore snapshots with an explicit
+// parallelism. Snapshots round-trip *complete* state — hash draws,
+// per-copy slab state, thresholds, and query meters — so a sketch decoded
+// on another node (or after a restart, via cmd/f0 -snapshot/-restore) is
+// Merge-compatible with a live sketch built from the same Config: the
+// shared-draw precondition is enforced structurally across the wire.
+//
+// Format: each snapshot is one framed message ("F0" magic, kind byte,
+// version byte — see internal/wire); unknown kinds and versions are
+// rejected with typed errors, never a panic. Encoding is canonical, and
+// decode(encode(s)) is state-identical to s: same estimates, same merge
+// behaviour, bit-identical subsequent ingestion (determinism invariant 6).
+package mcf0
+
+import (
+	"fmt"
+
+	"mcf0/internal/setstream"
+	"mcf0/internal/streaming"
+	"mcf0/internal/wire"
+)
+
+// Public-wrapper codec versions; bump when a payload layout changes.
+const (
+	f0Version            byte = 1
+	dnfSetF0Version      byte = 1
+	rangeF0Version       byte = 1
+	progressionF0Version byte = 1
+	affineF0Version      byte = 1
+)
+
+// ---- F0 ----
+
+// MarshalBinary snapshots the sketch: universe width plus the complete
+// framed state of the underlying streaming sketch.
+func (f *F0) MarshalBinary() ([]byte, error) {
+	s, ok := f.est.(streaming.Sketch)
+	if !ok {
+		return nil, fmt.Errorf("mcf0: F0 estimator %T is not snapshottable", f.est)
+	}
+	dst := wire.AppendHeader(nil, wire.KindF0, f0Version)
+	dst = wire.AppendInt(dst, f.nBits)
+	out, ok := streaming.AppendSketch(dst, s)
+	if !ok {
+		return nil, fmt.Errorf("mcf0: F0 estimator %T is not snapshottable", f.est)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary,
+// replacing f's state. The restored sketch uses default parallelism
+// (GOMAXPROCS); use DecodeF0 to pick another level.
+func (f *F0) UnmarshalBinary(data []byte) error {
+	dec, err := DecodeF0(data, 0)
+	if err != nil {
+		return err
+	}
+	*f = *dec
+	return nil
+}
+
+// DecodeF0 restores an F0 snapshot. parallelism bounds the restored
+// sketch's worker pool as Config.Parallelism would (0 selects GOMAXPROCS;
+// estimates are bit-identical at every level).
+func DecodeF0(data []byte, parallelism int) (*F0, error) {
+	r := wire.NewReader(data)
+	f := decodeF0From(r, parallelism)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func decodeF0From(r *wire.Reader, parallelism int) *F0 {
+	v := r.Header(wire.KindF0)
+	if !r.CheckVersion(wire.KindF0, v, f0Version) {
+		return nil
+	}
+	nBits := r.Int(64)
+	if r.Err() != nil {
+		return nil
+	}
+	if nBits < 1 {
+		r.Corrupt("F0 snapshot over empty universe")
+		return nil
+	}
+	s := streaming.DecodeSketchFrom(r, parallelism)
+	if r.Err() != nil {
+		return nil
+	}
+	if got := streaming.SketchBits(s); got != nBits {
+		r.Corrupt("F0 snapshot is %d bits wide but carries a %d-bit sketch", nBits, got)
+		return nil
+	}
+	return &F0{nBits: nBits, est: s}
+}
+
+// ---- ConcurrentF0 ----
+
+// Snapshot returns a point-in-time F0 holding the merged state of every
+// replica; it shares no mutable state with c, so it can be marshaled,
+// merged, or queried while concurrent ingestion continues.
+func (c *ConcurrentF0) Snapshot() *F0 {
+	return &F0{nBits: c.nBits, est: c.front.MergedClone()}
+}
+
+// MarshalBinary snapshots the merged replica state as an F0 message —
+// crash recovery for the concurrent front rides the same wire format.
+func (c *ConcurrentF0) MarshalBinary() ([]byte, error) {
+	return c.Snapshot().MarshalBinary()
+}
+
+// DecodeConcurrentF0 restores an F0 snapshot (from F0.MarshalBinary or
+// ConcurrentF0.MarshalBinary) into a concurrent front with the given
+// replica count (≤ 0 selects GOMAXPROCS): the decoded sketch becomes
+// replica 0 and is cloned into the others, exactly as NewConcurrentF0
+// seeds a fresh front.
+func DecodeConcurrentF0(data []byte, replicas int) (*ConcurrentF0, error) {
+	// Replicas ingest serially on the claiming goroutine (see
+	// NewConcurrentF0), so the restored sketch gets parallelism 1.
+	f, err := DecodeF0(data, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentF0{
+		nBits: f.nBits,
+		front: streaming.NewConcurrent(f.est.(streaming.Sketch), replicas),
+	}, nil
+}
+
+// ---- DNFSetF0 ----
+
+// MarshalBinary snapshots the DNF-set-stream sketch.
+func (d *DNFSetF0) MarshalBinary() ([]byte, error) {
+	dst := wire.AppendHeader(nil, wire.KindDNFSetF0, dnfSetF0Version)
+	return d.inner.AppendBinary(dst), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary,
+// replacing d's state (default parallelism; see DecodeDNFSetF0).
+func (d *DNFSetF0) UnmarshalBinary(data []byte) error {
+	dec, err := DecodeDNFSetF0(data, 0)
+	if err != nil {
+		return err
+	}
+	*d = *dec
+	return nil
+}
+
+// DecodeDNFSetF0 restores a DNFSetF0 snapshot with the given parallelism.
+func DecodeDNFSetF0(data []byte, parallelism int) (*DNFSetF0, error) {
+	r := wire.NewReader(data)
+	v := r.Header(wire.KindDNFSetF0)
+	r.CheckVersion(wire.KindDNFSetF0, v, dnfSetF0Version)
+	inner := setstream.DecodeDNFStreamFrom(r, parallelism)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return &DNFSetF0{n: inner.N(), inner: inner}, nil
+}
+
+// ---- RangeF0 ----
+
+// MarshalBinary snapshots the range-stream sketch.
+func (r *RangeF0) MarshalBinary() ([]byte, error) {
+	dst := wire.AppendHeader(nil, wire.KindRangeF0, rangeF0Version)
+	return r.inner.AppendBinary(dst), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary,
+// replacing r's state (default parallelism; see DecodeRangeF0).
+func (r *RangeF0) UnmarshalBinary(data []byte) error {
+	dec, err := DecodeRangeF0(data, 0)
+	if err != nil {
+		return err
+	}
+	*r = *dec
+	return nil
+}
+
+// DecodeRangeF0 restores a RangeF0 snapshot with the given parallelism.
+func DecodeRangeF0(data []byte, parallelism int) (*RangeF0, error) {
+	r := wire.NewReader(data)
+	v := r.Header(wire.KindRangeF0)
+	r.CheckVersion(wire.KindRangeF0, v, rangeF0Version)
+	inner := setstream.DecodeRangeStreamFrom(r, parallelism)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return &RangeF0{inner: inner, bits: inner.Dims()}, nil
+}
+
+// ---- ProgressionF0 ----
+
+// MarshalBinary snapshots the progression-stream sketch.
+func (p *ProgressionF0) MarshalBinary() ([]byte, error) {
+	dst := wire.AppendHeader(nil, wire.KindProgressionF0, progressionF0Version)
+	return p.inner.AppendBinary(dst), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary,
+// replacing p's state (default parallelism; see DecodeProgressionF0).
+func (p *ProgressionF0) UnmarshalBinary(data []byte) error {
+	dec, err := DecodeProgressionF0(data, 0)
+	if err != nil {
+		return err
+	}
+	*p = *dec
+	return nil
+}
+
+// DecodeProgressionF0 restores a ProgressionF0 snapshot with the given
+// parallelism.
+func DecodeProgressionF0(data []byte, parallelism int) (*ProgressionF0, error) {
+	r := wire.NewReader(data)
+	v := r.Header(wire.KindProgressionF0)
+	r.CheckVersion(wire.KindProgressionF0, v, progressionF0Version)
+	inner := setstream.DecodeProgressionStreamFrom(r, parallelism)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return &ProgressionF0{inner: inner, bits: inner.Dims()}, nil
+}
+
+// ---- AffineF0 ----
+
+// MarshalBinary snapshots the affine-stream sketch.
+func (a *AffineF0) MarshalBinary() ([]byte, error) {
+	dst := wire.AppendHeader(nil, wire.KindAffineF0, affineF0Version)
+	return a.inner.AppendBinary(dst), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary,
+// replacing a's state (default parallelism; see DecodeAffineF0).
+func (a *AffineF0) UnmarshalBinary(data []byte) error {
+	dec, err := DecodeAffineF0(data, 0)
+	if err != nil {
+		return err
+	}
+	*a = *dec
+	return nil
+}
+
+// DecodeAffineF0 restores an AffineF0 snapshot with the given parallelism.
+func DecodeAffineF0(data []byte, parallelism int) (*AffineF0, error) {
+	r := wire.NewReader(data)
+	v := r.Header(wire.KindAffineF0)
+	r.CheckVersion(wire.KindAffineF0, v, affineF0Version)
+	inner := setstream.DecodeAffineStreamFrom(r, parallelism)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return &AffineF0{n: inner.N(), inner: inner}, nil
+}
+
+// SnapshotKind reports the human-readable kind of a snapshot's first
+// bytes ("mcf0.F0", "mcf0.RangeF0", …) without decoding it — cmd/f0 uses
+// it to diagnose restoring a snapshot into the wrong mode.
+func SnapshotKind(data []byte) (string, error) {
+	kind, err := wire.NewReader(data).PeekKind()
+	if err != nil {
+		return "", err
+	}
+	return wire.KindName(kind), nil
+}

@@ -2,6 +2,7 @@ package mcf0
 
 import (
 	"fmt"
+	"sync"
 
 	"mcf0/internal/bitvec"
 	"mcf0/internal/streaming"
@@ -47,6 +48,10 @@ func (f *F0) Merge(other *F0) error {
 type ConcurrentF0 struct {
 	nBits int
 	front *streaming.Concurrent
+	// batches recycles AddBatch's conversion scratch (slab-backed element
+	// vectors) across calls and goroutines; sketches copy what they keep,
+	// so a batch can be reused the moment ProcessBatch returns.
+	batches sync.Pool
 }
 
 // NewConcurrentF0 builds a concurrent F0 sketch over an nBits-bit
@@ -77,20 +82,44 @@ func (c *ConcurrentF0) Add(x uint64) {
 	c.front.Process(bitvec.FromUint64(x, c.nBits))
 }
 
+// concBatch is one pooled conversion buffer: element vectors carved from
+// a single slab allocation.
+type concBatch struct {
+	vecs []bitvec.BitVec
+}
+
 // AddBatch absorbs a chunk of stream elements on one replica, amortising
-// acquisition over the chunk; safe to call from any goroutine.
+// acquisition over the chunk; safe to call from any goroutine. The whole
+// slice is validated before any conversion — an out-of-range element
+// panics with the batch rejected atomically (no elements ingested,
+// nothing allocated) — and conversion reuses pooled scratch instead of
+// allocating a fresh []bitvec.BitVec per call.
 func (c *ConcurrentF0) AddBatch(xs []uint64) {
 	if len(xs) == 0 {
 		return
 	}
-	batch := make([]bitvec.BitVec, len(xs))
-	for i, x := range xs {
-		if c.nBits < 64 && x >= 1<<uint(c.nBits) {
-			panic(fmt.Sprintf("mcf0: element %d exceeds %d-bit universe", x, c.nBits))
+	if c.nBits < 64 {
+		for _, x := range xs {
+			if x >= 1<<uint(c.nBits) {
+				panic(fmt.Sprintf("mcf0: element %d exceeds %d-bit universe", x, c.nBits))
+			}
 		}
-		batch[i] = bitvec.FromUint64(x, c.nBits)
+	}
+	b, _ := c.batches.Get().(*concBatch)
+	if b == nil || cap(b.vecs) < len(xs) {
+		n := len(xs)
+		if n < 256 {
+			n = 256 // pool floor: small batches share one steady-state buffer
+		}
+		vecs := bitvec.NewSlab(c.nBits, n)
+		b = &concBatch{vecs: vecs}
+	}
+	batch := b.vecs[:len(xs)]
+	for i, x := range xs {
+		batch[i].SetUint64(x)
 	}
 	c.front.ProcessBatch(batch)
+	c.batches.Put(b)
 }
 
 // Estimate merges the replicas and returns the combined distinct-count
@@ -114,12 +143,30 @@ func (d *DNFSetF0) Merge(other *DNFSetF0) error {
 // Merge folds other's sketch state into r (same dimensions, same seed and
 // parameters required).
 func (r *RangeF0) Merge(other *RangeF0) error {
+	if len(other.bits) != len(r.bits) {
+		return fmt.Errorf("mcf0: cannot merge %d-dim and %d-dim range streams", len(r.bits), len(other.bits))
+	}
+	for i := range r.bits {
+		if other.bits[i] != r.bits[i] {
+			return fmt.Errorf("mcf0: cannot merge range streams: dimension %d is %d bits vs %d bits",
+				i, r.bits[i], other.bits[i])
+		}
+	}
 	return r.inner.Merge(other.inner)
 }
 
 // Merge folds other's sketch state into p (same dimensions, same seed and
 // parameters required).
 func (p *ProgressionF0) Merge(other *ProgressionF0) error {
+	if len(other.bits) != len(p.bits) {
+		return fmt.Errorf("mcf0: cannot merge %d-dim and %d-dim progression streams", len(p.bits), len(other.bits))
+	}
+	for i := range p.bits {
+		if other.bits[i] != p.bits[i] {
+			return fmt.Errorf("mcf0: cannot merge progression streams: dimension %d is %d bits vs %d bits",
+				i, p.bits[i], other.bits[i])
+		}
+	}
 	return p.inner.Merge(other.inner)
 }
 

@@ -63,4 +63,53 @@ func main() {
 	fmt.Println("shape to observe (paper §4): Minimum's site→coord bits ≈ k·t·Thresh·3n dominate;")
 	fmt.Println("Bucketing/Estimation send small fingerprints/levels — Õ(k(n+1/ε²)log(1/δ)) total;")
 	fmt.Println("every protocol's cost grows linearly in k (lower bound Ω(k/ε²)).")
+
+	// Snapshot shipping over the versioned wire codec: every site ingests
+	// its shard into a same-seed sketch, marshals the *complete* sketch
+	// state, and ships the blob; the coordinator unmarshals and merges.
+	// Because snapshots round-trip complete state (hash draws included),
+	// the shared-draw Merge precondition holds across the wire and the
+	// coordinator's estimate is bit-identical to a single sketch that
+	// ingested the whole formula.
+	fmt.Println("\nsnapshot shipping (wire codec, 4 sites):")
+	const sites = 4
+	parts := make([][][][]int, sites)
+	for i, t := range terms {
+		parts[i%sites] = append(parts[i%sites], [][]int{t})
+	}
+	blobs := make([][]byte, sites)
+	shipped := 0
+	for j := range parts {
+		site := mcf0.NewDNFSetF0(n, cfg)
+		for _, set := range parts[j] {
+			if err := site.AddDNF(set); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if blobs[j], err = site.MarshalBinary(); err != nil {
+			log.Fatal(err)
+		}
+		shipped += len(blobs[j])
+	}
+	merged, err := mcf0.DecodeDNFSetF0(blobs[0], 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, blob := range blobs[1:] {
+		dec, err := mcf0.DecodeDNFSetF0(blob, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := merged.Merge(dec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	single := mcf0.NewDNFSetF0(n, cfg)
+	for _, t := range terms {
+		if err := single.AddDNF([][]int{t}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("coordinator estimate %.0f from %d snapshot bytes; bit-identical to single-node: %v\n",
+		merged.Estimate(), shipped, merged.Estimate() == single.Estimate())
 }

@@ -1,0 +1,98 @@
+// Snapshot-shipping aggregation: the codec-backed counterpart of the
+// metered protocols in this package. Instead of simulating per-element
+// messages, each site ingests its partition into a same-seed set-stream
+// sketch, serializes the *complete* sketch state with the versioned wire
+// codec, and ships the snapshot; the coordinator decodes the blobs and
+// merges them — the shared-draw Merge precondition is enforced against
+// the decoded hash structure, exactly as it would be across real nodes.
+//
+// Because the sketches are idempotent, order-insensitive functions of the
+// element set, the coordinator's estimate is bit-identical to a single
+// sketch ingesting the concatenated stream — the differential gate the
+// tests pin for both the live-Merge path and the marshal→unmarshal→Merge
+// path.
+package distributed
+
+import (
+	"fmt"
+
+	"mcf0/internal/formula"
+	"mcf0/internal/setstream"
+	"mcf0/internal/stats"
+)
+
+// CombineDNFSnapshots decodes encoded DNF-stream snapshots (from
+// setstream.DNFStream.MarshalBinary) and merges them into one stream.
+// All snapshots must come from same-seed sketches; a foreign draw or a
+// corrupt blob fails with a descriptive error and no partial result.
+func CombineDNFSnapshots(blobs [][]byte, parallelism int) (*setstream.DNFStream, error) {
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("distributed: no snapshots to combine")
+	}
+	merged, err := setstream.DecodeDNFStream(blobs[0], parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: snapshot 0: %w", err)
+	}
+	for j, blob := range blobs[1:] {
+		dec, err := setstream.DecodeDNFStream(blob, parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("distributed: snapshot %d: %w", j+1, err)
+		}
+		if err := merged.Merge(dec); err != nil {
+			return nil, fmt.Errorf("distributed: snapshot %d: %w", j+1, err)
+		}
+	}
+	return merged, nil
+}
+
+// SketchAndShip runs the snapshot-shipping protocol over a partitioned
+// DNF: the coordinator broadcasts one 64-bit seed, every site
+// deterministically re-derives the shared hash draws, ingests its
+// subformula into a Minimum-style set-stream sketch, and ships the
+// encoded snapshot; the coordinator decodes and merges. Communication is
+// metered exactly — 64 bits per site down, the encoded snapshot sizes
+// up — and the estimate is bit-identical to a single same-seed sketch
+// ingesting the whole formula.
+func SketchAndShip(parts []*formula.DNF, seed uint64, opts Options) (Result, error) {
+	k := len(parts)
+	if k == 0 {
+		return Result{}, fmt.Errorf("distributed: no sites")
+	}
+	n := parts[0].N
+	mkOpts := func() setstream.Options {
+		return setstream.Options{
+			Epsilon:     opts.Epsilon,
+			Delta:       opts.Delta,
+			Thresh:      opts.Thresh,
+			Iterations:  opts.Iterations,
+			RNG:         stats.NewRNG(seed),
+			Parallelism: opts.Parallelism,
+		}
+	}
+
+	var res Result
+	res.Comm.CoordToSites = int64(k) * 64 // the seed broadcast
+
+	// Sites run independently (their sketches share draws by seed, not by
+	// pointer); each ships one snapshot blob.
+	blobs := make([][]byte, k)
+	errs := make([]error, k)
+	runTrials(k, opts.parallelism(), func(j int) {
+		site := setstream.NewDNFStream(n, mkOpts())
+		site.ProcessDNF(parts[j])
+		blobs[j], errs[j] = site.MarshalBinary()
+	})
+	for j, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("distributed: site %d snapshot: %w", j, err)
+		}
+		res.Comm.SitesToCoord += int64(len(blobs[j])) * 8
+	}
+
+	merged, err := CombineDNFSnapshots(blobs, opts.Parallelism)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Estimate = merged.Estimate()
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package distributed
+
+import (
+	"bytes"
+	"testing"
+
+	"mcf0/internal/formula"
+	"mcf0/internal/setstream"
+	"mcf0/internal/stats"
+)
+
+func shipOpts() Options {
+	return Options{Epsilon: 0.8, Delta: 0.2, Thresh: 16, Iterations: 5}
+}
+
+func shipStreamOpts(seed uint64, par int) setstream.Options {
+	return setstream.Options{Epsilon: 0.8, Delta: 0.2, Thresh: 16, Iterations: 5,
+		RNG: stats.NewRNG(seed), Parallelism: par}
+}
+
+// Differential gate for the snapshot-shipping protocol: the coordinator's
+// estimate must be bit-identical to (a) a single same-seed sketch
+// ingesting the whole formula and (b) an in-process live Merge of the
+// site sketches — at several site counts and parallelism levels.
+func TestSketchAndShipDifferential(t *testing.T) {
+	const seed = 0x5ee0
+	d := formula.RandomDNF(12, 11, 4, stats.NewRNG(77))
+	for _, k := range []int{1, 2, 5} {
+		for _, par := range []int{1, 4} {
+			parts := Split(d, k)
+			opts := shipOpts()
+			opts.Parallelism = par
+			res, err := SketchAndShip(parts, seed, opts)
+			if err != nil {
+				t.Fatalf("k=%d par=%d: %v", k, par, err)
+			}
+
+			single := setstream.NewDNFStream(d.N, shipStreamOpts(seed, par))
+			single.ProcessDNF(d)
+			if res.Estimate != single.Estimate() {
+				t.Fatalf("k=%d par=%d: shipped estimate %v != single-node %v",
+					k, par, res.Estimate, single.Estimate())
+			}
+
+			live := setstream.NewDNFStream(d.N, shipStreamOpts(seed, par))
+			live.ProcessDNF(parts[0])
+			for _, p := range parts[1:] {
+				site := setstream.NewDNFStream(d.N, shipStreamOpts(seed, par))
+				site.ProcessDNF(p)
+				if err := live.Merge(site); err != nil {
+					t.Fatalf("k=%d par=%d: live merge: %v", k, par, err)
+				}
+			}
+			if res.Estimate != live.Estimate() {
+				t.Fatalf("k=%d par=%d: shipped estimate %v != live merge %v",
+					k, par, res.Estimate, live.Estimate())
+			}
+
+			if res.Comm.CoordToSites != int64(k)*64 {
+				t.Fatalf("k=%d: seed broadcast metered as %d bits", k, res.Comm.CoordToSites)
+			}
+			if res.Comm.SitesToCoord <= 0 {
+				t.Fatalf("k=%d: no snapshot bits metered", k)
+			}
+		}
+	}
+}
+
+// CombineDNFSnapshots must reject corrupt blobs, foreign-seed snapshots,
+// and empty input — with errors, never a panic or partial merge.
+func TestCombineDNFSnapshotsErrors(t *testing.T) {
+	d := formula.RandomDNF(10, 6, 3, stats.NewRNG(79))
+	mk := func(seed uint64) []byte {
+		s := setstream.NewDNFStream(d.N, shipStreamOpts(seed, 1))
+		s.ProcessDNF(d)
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return blob
+	}
+	if _, err := CombineDNFSnapshots(nil, 1); err == nil {
+		t.Fatal("empty snapshot list combined")
+	}
+	if _, err := CombineDNFSnapshots([][]byte{mk(1), mk(2)}, 1); err == nil {
+		t.Fatal("foreign-seed snapshots merged")
+	}
+	corrupt := bytes.Clone(mk(1))
+	corrupt = corrupt[:len(corrupt)-3]
+	if _, err := CombineDNFSnapshots([][]byte{mk(1), corrupt}, 1); err == nil {
+		t.Fatal("truncated snapshot merged")
+	}
+}

@@ -1,0 +1,538 @@
+// Wire codec for the streaming sketches: versioned snapshot/restore of
+// complete sketch state — hash draws, per-copy slab-backed state, and
+// thresholds — so a sketch decoded on another node (or after a crash) is
+// Merge-compatible with one built locally from the same seed, with the
+// shared-draw precondition enforced structurally across the wire instead
+// of by pointer identity.
+//
+// Every sketch kind is one top-level message (wire magic + kind byte +
+// version byte; unknown kinds and versions are rejected with typed
+// errors, never a panic). Payloads ride bitvec's flat storage: per-copy
+// rows decode directly into freshly carved slab rows, so restore costs the
+// same handful of allocations as Clone.
+//
+// Canonical form: encoding is deterministic (slab-order cells, rank-order
+// minima, sorted exact sets), and decode re-packs state into the same
+// canonical layout Clone produces — so encode(decode(encode(s))) ==
+// encode(s), and a decoded sketch's estimates, merges, and subsequent
+// ingestion are bit-identical to the original's (determinism invariant 6).
+package streaming
+
+import (
+	"slices"
+
+	"mcf0/internal/bitvec"
+	"mcf0/internal/hash"
+	"mcf0/internal/par"
+	"mcf0/internal/wire"
+)
+
+// Codec versions, one per sketch kind; bump when a payload layout changes.
+const (
+	bucketingVersion      byte = 1
+	minimumVersion        byte = 1
+	estimationVersion     byte = 1
+	flajoletMartinVersion byte = 1
+	exactDistinctVersion  byte = 1
+)
+
+// Decode bounds: far beyond any real configuration, tight enough that a
+// corrupt count can never size a pathological allocation.
+const (
+	maxSketchBits = 1 << 16 // universe width
+	maxCopies     = 1 << 16 // t = 35·log2(1/δ)
+	maxThresh     = 1 << 24 // Thresh = 96/ε²
+	// maxSlabWords caps any single decoded slab (t·Thresh rows); legitimate
+	// sketches sit around 2^14 words.
+	maxSlabWords = 1 << 24
+)
+
+// SketchBits returns the universe width (element bits) of any sketch in
+// this package, or 0 for foreign Sketch implementations. Wrapper layers
+// use it to cross-check their own recorded width against a decoded
+// sketch's.
+func SketchBits(s Sketch) int {
+	switch sk := s.(type) {
+	case *Bucketing:
+		return sk.n
+	case *Minimum:
+		return sk.n
+	case *Estimation:
+		return sk.n
+	case *FlajoletMartin:
+		if len(sk.hs) > 0 {
+			return sk.hs[0].InBits()
+		}
+	case *ExactDistinct:
+		return sk.n
+	}
+	return 0
+}
+
+// AppendSketch appends the framed wire form of any sketch in this package;
+// ok is false for Sketch implementations outside it.
+func AppendSketch(dst []byte, s Sketch) ([]byte, bool) {
+	switch sk := s.(type) {
+	case *Bucketing:
+		return sk.appendBinary(dst), true
+	case *Minimum:
+		return sk.appendBinary(dst), true
+	case *Estimation:
+		return sk.appendBinary(dst), true
+	case *FlajoletMartin:
+		return sk.appendBinary(dst), true
+	case *ExactDistinct:
+		return sk.appendBinary(dst), true
+	}
+	return dst, false
+}
+
+// EncodeSketch returns the framed wire form of a sketch.
+func EncodeSketch(s Sketch) ([]byte, bool) {
+	return AppendSketch(nil, s)
+}
+
+// DecodeSketch decodes one framed sketch message, which must span data
+// exactly. parallelism configures the restored sketch's worker pool as
+// Options.Parallelism would (estimates are bit-identical at every level).
+func DecodeSketch(data []byte, parallelism int) (Sketch, error) {
+	r := wire.NewReader(data)
+	s := DecodeSketchFrom(r, parallelism)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeSketchFrom decodes one framed sketch message at the reader's
+// position, dispatching on the kind byte; failures land in the reader.
+func DecodeSketchFrom(r *wire.Reader, parallelism int) Sketch {
+	kind, err := r.PeekKind()
+	if err != nil {
+		r.Corrupt("sketch header unreadable")
+		return nil
+	}
+	var s Sketch
+	switch kind {
+	case wire.KindBucketing:
+		s = decodeBucketing(r, parallelism)
+	case wire.KindMinimum:
+		s = decodeMinimum(r, parallelism)
+	case wire.KindEstimation:
+		s = decodeEstimation(r, parallelism)
+	case wire.KindFlajoletMartin:
+		s = decodeFlajoletMartin(r, parallelism)
+	case wire.KindExactDistinct:
+		s = decodeExactDistinct(r)
+	default:
+		r.Corrupt("unknown sketch kind %#02x", kind)
+		return nil
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return s
+}
+
+// slabRows validates a rows×wordsPerRow slab shape against maxSlabWords
+// before anything is allocated.
+func slabRows(r *wire.Reader, rows, bitsPerRow int) bool {
+	words := uint64(rows) * uint64((bitsPerRow+63)/64)
+	if words > maxSlabWords {
+		r.Corrupt("slab of %d %d-bit rows exceeds decode bound", rows, bitsPerRow)
+		return false
+	}
+	return true
+}
+
+// ---- Bucketing ----
+
+// appendBinary emits n, thresh, t, then per copy the hash draw, the
+// sampling level, and the occupied cells in slab-slot order as
+// (fingerprint, hash-value-row) pairs.
+func (b *Bucketing) appendBinary(dst []byte) []byte {
+	dst = wire.AppendHeader(dst, wire.KindBucketing, bucketingVersion)
+	dst = wire.AppendInt(dst, b.n)
+	dst = wire.AppendInt(dst, b.thresh)
+	dst = wire.AppendInt(dst, len(b.copies))
+	for _, c := range b.copies {
+		dst, _ = hash.AppendFunc(dst, c.h)
+		dst = wire.AppendInt(dst, c.level)
+		dst = wire.AppendInt(dst, len(c.idx))
+		for s, on := range c.occ {
+			if !on {
+				continue
+			}
+			lo, hi, _ := c.keys[s].Raw()
+			dst = wire.AppendUint64(dst, lo)
+			dst = wire.AppendUint64(dst, hi)
+			dst = wire.AppendBitVec(dst, c.rows[s])
+		}
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (b *Bucketing) MarshalBinary() ([]byte, error) { return b.appendBinary(nil), nil }
+
+func decodeBucketing(r *wire.Reader, parallelism int) *Bucketing {
+	v := r.Header(wire.KindBucketing)
+	if !r.CheckVersion(wire.KindBucketing, v, bucketingVersion) {
+		return nil
+	}
+	n := r.Int(maxSketchBits)
+	thresh := r.Int(maxThresh)
+	t := r.Int(maxCopies)
+	if r.Err() != nil {
+		return nil
+	}
+	if n < 1 || thresh < 1 || t < 1 {
+		r.Corrupt("bucketing shape n=%d thresh=%d t=%d", n, thresh, t)
+		return nil
+	}
+	slots := thresh + 1
+	if !slabRows(r, t*slots, n) {
+		return nil
+	}
+	b := &Bucketing{thresh: thresh, n: n, eng: newEngine(parallelism, minBatchCheap)}
+	rows := bitvec.NewSlab(n, t*slots)
+	for i := 0; i < t; i++ {
+		h := hash.DecodeLinear(r)
+		level := r.Int(n)
+		cnt := r.Int(thresh)
+		if r.Err() != nil {
+			return nil
+		}
+		if h.InBits() != n || h.OutBits() != n {
+			r.Corrupt("bucketing copy %d hash is %d->%d bits, want %d->%d",
+				i, h.InBits(), h.OutBits(), n, n)
+			return nil
+		}
+		c := newBucketCopy(h, rows[i*slots:(i+1)*slots], n)
+		c.level = level
+		// Re-pack the cells into slots 0..cnt−1 — the canonical layout a
+		// fresh copy ingesting the same set would hold; slot placement is
+		// invisible to estimates and merges.
+		for s := 0; s < cnt; s++ {
+			key := bitvec.RawFingerprint(r.Uint64(), r.Uint64(), n)
+			r.BitVecInto(c.rows[s])
+			if r.Err() != nil {
+				return nil
+			}
+			if _, dup := c.idx[key]; dup {
+				r.Corrupt("bucketing copy %d has duplicate cell fingerprints", i)
+				return nil
+			}
+			if !c.rows[s].HasZeroPrefix(level) {
+				r.Corrupt("bucketing copy %d cell escapes its sampling level", i)
+				return nil
+			}
+			c.keys[s] = key
+			c.occ[s] = true
+			c.idx[key] = int32(s)
+		}
+		c.free = c.free[:0]
+		for s := slots - 1; s >= cnt; s-- {
+			c.free = append(c.free, int32(s))
+		}
+		b.copies = append(b.copies, c)
+	}
+	return b
+}
+
+// ---- Minimum ----
+
+// appendBinary emits n, thresh, t, then per copy the hash draw and the
+// retained minima in rank order.
+func (m *Minimum) appendBinary(dst []byte) []byte {
+	dst = wire.AppendHeader(dst, wire.KindMinimum, minimumVersion)
+	dst = wire.AppendInt(dst, m.n)
+	dst = wire.AppendInt(dst, m.thresh)
+	dst = wire.AppendInt(dst, len(m.copies))
+	for _, c := range m.copies {
+		dst, _ = hash.AppendFunc(dst, c.h)
+		dst = wire.AppendInt(dst, len(c.vals))
+		for _, v := range c.vals {
+			dst = wire.AppendBitVec(dst, v)
+		}
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Minimum) MarshalBinary() ([]byte, error) { return m.appendBinary(nil), nil }
+
+func decodeMinimum(r *wire.Reader, parallelism int) *Minimum {
+	v := r.Header(wire.KindMinimum)
+	if !r.CheckVersion(wire.KindMinimum, v, minimumVersion) {
+		return nil
+	}
+	n := r.Int(maxSketchBits)
+	thresh := r.Int(maxThresh)
+	t := r.Int(maxCopies)
+	if r.Err() != nil {
+		return nil
+	}
+	if n < 1 || thresh < 1 || t < 1 {
+		r.Corrupt("minimum shape n=%d thresh=%d t=%d", n, thresh, t)
+		return nil
+	}
+	if !slabRows(r, t*thresh, 3*n) {
+		return nil
+	}
+	m := &Minimum{thresh: thresh, n: n, eng: newEngine(parallelism, minBatchCheap)}
+	store := bitvec.NewSlab(3*n, t*thresh)
+	for i := 0; i < t; i++ {
+		h := hash.DecodeLinear(r)
+		cnt := r.Int(thresh)
+		if r.Err() != nil {
+			return nil
+		}
+		if h.InBits() != n || h.OutBits() != 3*n {
+			r.Corrupt("minimum copy %d hash is %d->%d bits, want %d->%d",
+				i, h.InBits(), h.OutBits(), n, 3*n)
+			return nil
+		}
+		c := &minCopy{h: h, store: store[i*thresh : (i+1)*thresh], scratch: bitvec.New(3 * n)}
+		for j := 0; j < cnt; j++ {
+			r.BitVecInto(c.store[j])
+			if r.Err() != nil {
+				return nil
+			}
+			if j > 0 && !c.store[j-1].Less(c.store[j]) {
+				r.Corrupt("minimum copy %d minima are not strictly ascending", i)
+				return nil
+			}
+			c.vals = append(c.vals, c.store[j])
+		}
+		m.copies = append(m.copies, c)
+	}
+	return m
+}
+
+// ---- Estimation ----
+
+// appendBinary emits n, thresh, t, the t×Thresh hash grid, the
+// trailing-zero grid, and the parallel Flajolet–Martin tracker.
+func (e *Estimation) appendBinary(dst []byte) []byte {
+	dst = wire.AppendHeader(dst, wire.KindEstimation, estimationVersion)
+	dst = wire.AppendInt(dst, e.n)
+	dst = wire.AppendInt(dst, e.thresh)
+	dst = wire.AppendInt(dst, len(e.hs))
+	for _, row := range e.hs {
+		for _, h := range row {
+			dst, _ = hash.AppendFunc(dst, h)
+		}
+	}
+	for _, v := range e.s {
+		dst = wire.AppendInt(dst, v+1) // v ∈ [−1, n]
+	}
+	return e.fm.appendBody(dst)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (e *Estimation) MarshalBinary() ([]byte, error) { return e.appendBinary(nil), nil }
+
+func decodeEstimation(r *wire.Reader, parallelism int) *Estimation {
+	v := r.Header(wire.KindEstimation)
+	if !r.CheckVersion(wire.KindEstimation, v, estimationVersion) {
+		return nil
+	}
+	n := r.Int(64)
+	thresh := r.Int(maxThresh)
+	t := r.Int(maxCopies)
+	if r.Err() != nil {
+		return nil
+	}
+	if n < 1 || thresh < 1 || t < 1 {
+		r.Corrupt("estimation shape n=%d thresh=%d t=%d", n, thresh, t)
+		return nil
+	}
+	if uint64(t)*uint64(thresh) > maxSlabWords {
+		r.Corrupt("estimation grid %dx%d exceeds decode bound", t, thresh)
+		return nil
+	}
+	workers := par.Workers(parallelism)
+	e := &Estimation{
+		thresh:  thresh,
+		n:       n,
+		eng:     newEngine(parallelism, minBatchEstimation),
+		scratch: par.ShardScratch(workers, func() bitvec.BitVec { return bitvec.New(n) }),
+	}
+	allU64 := true
+	for i := 0; i < t; i++ {
+		var row []hash.Func
+		var urow []hash.Uint64Hash
+		for j := 0; j < thresh; j++ {
+			h := hash.DecodeFunc(r)
+			if r.Err() != nil {
+				return nil
+			}
+			if h.InBits() != n || h.OutBits() != n {
+				r.Corrupt("estimation grid hash (%d,%d) is %d->%d bits, want %d->%d",
+					i, j, h.InBits(), h.OutBits(), n, n)
+				return nil
+			}
+			row = append(row, h)
+			if u, ok := hash.AsUint64Hash(h); ok {
+				urow = append(urow, u)
+			} else {
+				allU64 = false
+			}
+		}
+		e.hs = append(e.hs, row)
+		e.u64 = append(e.u64, urow)
+	}
+	if !allU64 {
+		e.u64 = nil
+	}
+	e.s = make([]int, t*thresh)
+	for i := range e.s {
+		e.s[i] = r.Int(n+1) - 1
+	}
+	e.fm = decodeFMBody(r, parallelism)
+	if r.Err() != nil {
+		return nil
+	}
+	return e
+}
+
+// ---- FlajoletMartin ----
+
+// appendBody emits the unframed tracker: t, then per copy the hash draw
+// and the max-trailing-zero counter. The framed form (appendBinary) wraps
+// it; Estimation nests the body under its own version.
+func (f *FlajoletMartin) appendBody(dst []byte) []byte {
+	dst = wire.AppendInt(dst, len(f.hs))
+	for i, h := range f.hs {
+		dst, _ = hash.AppendFunc(dst, h)
+		dst = wire.AppendInt(dst, f.max[i]+1) // max ∈ [−1, OutBits]
+	}
+	return dst
+}
+
+func (f *FlajoletMartin) appendBinary(dst []byte) []byte {
+	dst = wire.AppendHeader(dst, wire.KindFlajoletMartin, flajoletMartinVersion)
+	return f.appendBody(dst)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *FlajoletMartin) MarshalBinary() ([]byte, error) { return f.appendBinary(nil), nil }
+
+func decodeFMBody(r *wire.Reader, parallelism int) *FlajoletMartin {
+	t := r.Int(maxCopies)
+	if r.Err() != nil {
+		return nil
+	}
+	if t < 1 {
+		r.Corrupt("flajolet-martin tracker with no copies")
+		return nil
+	}
+	f := &FlajoletMartin{eng: newEngine(parallelism, minBatchCheap)}
+	n := 0
+	allU64 := true
+	for i := 0; i < t; i++ {
+		h := hash.DecodeLinear(r)
+		if r.Err() != nil {
+			return nil
+		}
+		if i == 0 {
+			n = h.OutBits()
+		} else if h.InBits() != f.hs[0].InBits() || h.OutBits() != n {
+			r.Corrupt("flajolet-martin copy %d dimensions disagree with copy 0", i)
+			return nil
+		}
+		maxTZ := r.Int(n+1) - 1
+		if r.Err() != nil {
+			return nil
+		}
+		f.hs = append(f.hs, h)
+		f.max = append(f.max, maxTZ)
+		if u, ok := hash.AsUint64Hash(h); ok {
+			f.u64 = append(f.u64, u)
+		} else {
+			allU64 = false
+		}
+	}
+	if !allU64 {
+		f.u64 = nil
+	}
+	f.scratch = par.ShardScratch(par.Workers(parallelism), func() bitvec.BitVec { return bitvec.New(n) })
+	return f
+}
+
+func decodeFlajoletMartin(r *wire.Reader, parallelism int) *FlajoletMartin {
+	v := r.Header(wire.KindFlajoletMartin)
+	if !r.CheckVersion(wire.KindFlajoletMartin, v, flajoletMartinVersion) {
+		return nil
+	}
+	return decodeFMBody(r, parallelism)
+}
+
+// ---- ExactDistinct ----
+
+// appendBinary emits n, then the element fingerprints sorted by digest —
+// the canonical order (map iteration is randomized; the wire form must
+// not be).
+func (e *ExactDistinct) appendBinary(dst []byte) []byte {
+	dst = wire.AppendHeader(dst, wire.KindExactDistinct, exactDistinctVersion)
+	dst = wire.AppendInt(dst, e.n)
+	dst = wire.AppendInt(dst, len(e.seen))
+	type fp struct{ lo, hi uint64 }
+	fps := make([]fp, 0, len(e.seen))
+	for k := range e.seen {
+		lo, hi, _ := k.Raw()
+		fps = append(fps, fp{lo, hi})
+	}
+	slices.SortFunc(fps, func(a, b fp) int {
+		if a.lo != b.lo {
+			if a.lo < b.lo {
+				return -1
+			}
+			return 1
+		}
+		if a.hi != b.hi {
+			if a.hi < b.hi {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	for _, k := range fps {
+		dst = wire.AppendUint64(dst, k.lo)
+		dst = wire.AppendUint64(dst, k.hi)
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (e *ExactDistinct) MarshalBinary() ([]byte, error) { return e.appendBinary(nil), nil }
+
+func decodeExactDistinct(r *wire.Reader) *ExactDistinct {
+	v := r.Header(wire.KindExactDistinct)
+	if !r.CheckVersion(wire.KindExactDistinct, v, exactDistinctVersion) {
+		return nil
+	}
+	n := r.Int(maxSketchBits)
+	cnt := r.Int(r.Remaining() / 16)
+	if r.Err() != nil {
+		return nil
+	}
+	if n < 1 {
+		r.Corrupt("exact-distinct sketch over empty universe")
+		return nil
+	}
+	e := &ExactDistinct{seen: make(map[bitvec.Fingerprint]struct{}, cnt), n: n}
+	for i := 0; i < cnt; i++ {
+		e.seen[bitvec.RawFingerprint(r.Uint64(), r.Uint64(), n)] = struct{}{}
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	if len(e.seen) != cnt {
+		r.Corrupt("exact-distinct set has duplicate fingerprints")
+		return nil
+	}
+	return e
+}

@@ -1,0 +1,198 @@
+package streaming
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mcf0/internal/stats"
+	"mcf0/internal/wire"
+)
+
+// codecSketches builds one ingested instance of every sketch kind with
+// same-seed options, plus a factory for fresh same-draw siblings.
+func codecSketches(n, par int) (map[string]Sketch, func() map[string]Sketch) {
+	build := func() map[string]Sketch {
+		return map[string]Sketch{
+			"bucketing": NewBucketing(n, mergeOpts(71, par)),
+			"minimum":   NewMinimum(n, mergeOpts(72, par)),
+			"estimation": NewEstimation(n, Options{Epsilon: 0.8, Delta: 0.2,
+				Thresh: 8, Iterations: 3, RNG: stats.NewRNG(73), Parallelism: par}),
+			"flajolet-martin": NewFlajoletMartin(n, mergeOpts(74, par)),
+			"exact":           NewExactDistinct(n),
+		}
+	}
+	return build(), build
+}
+
+// Codec round-trip determinism (invariant 6): decode(encode(s)) is
+// state-identical to s — same estimate, same canonical re-encoding, and
+// bit-identical behaviour under further ingestion.
+func TestCodecRoundTripDeterminism(t *testing.T) {
+	n := 32
+	stream := dupStream(n, 1400, stats.NewRNG(0xc0dec))
+	more := dupStream(n, 600, stats.NewRNG(0xc0de))
+	for _, par := range []int{1, 4} {
+		sketches, _ := codecSketches(n, par)
+		for name, s := range sketches {
+			feedChunks(s, stream)
+			blob, ok := EncodeSketch(s)
+			if !ok {
+				t.Fatalf("par=%d %s: EncodeSketch refused", par, name)
+			}
+			dec, err := DecodeSketch(blob, par)
+			if err != nil {
+				t.Fatalf("par=%d %s: decode: %v", par, name, err)
+			}
+			if got, want := dec.Estimate(), s.Estimate(); got != want {
+				t.Fatalf("par=%d %s: decoded estimate %v != %v", par, name, got, want)
+			}
+			if got, want := dec.SketchWords(), s.SketchWords(); got != want {
+				t.Fatalf("par=%d %s: decoded sketch words %d != %d", par, name, got, want)
+			}
+			reblob, _ := EncodeSketch(dec)
+			if !bytes.Equal(blob, reblob) {
+				t.Fatalf("par=%d %s: encode(decode(encode)) is not canonical", par, name)
+			}
+			// Decoded sketches keep ingesting identically to the original.
+			feedChunks(s, more)
+			feedChunks(dec, more)
+			if got, want := dec.Estimate(), s.Estimate(); got != want {
+				t.Fatalf("par=%d %s: post-ingest estimate %v != %v", par, name, got, want)
+			}
+		}
+	}
+}
+
+// Cross-wire merge differential: marshal→unmarshal→Merge must produce the
+// exact state (and estimate) of (a) an in-process Merge of the live halves
+// and (b) one sketch ingesting the concatenated stream.
+func TestCodecMergeVsSingleDifferential(t *testing.T) {
+	n := 32
+	stream := dupStream(n, 1600, stats.NewRNG(0x3e63e))
+	half := len(stream) / 2
+	sketches, fresh := codecSketches(n, 2)
+	whole, live, remote := sketches, fresh(), fresh()
+	for name := range sketches {
+		feedChunks(whole[name], stream)
+		feedChunks(live[name], stream[:half])
+		feedChunks(remote[name], stream[half:])
+
+		blob, _ := EncodeSketch(remote[name])
+		dec, err := DecodeSketch(blob, 2)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		// In-process control: clone the live left half, merge the live right.
+		ctl := live[name].Clone()
+		if err := ctl.Merge(remote[name]); err != nil {
+			t.Fatalf("%s: live merge: %v", name, err)
+		}
+		if err := live[name].Merge(dec); err != nil {
+			t.Fatalf("%s: merge of decoded sketch: %v", name, err)
+		}
+		if a, b, c := live[name].Estimate(), ctl.Estimate(), whole[name].Estimate(); a != b || a != c {
+			t.Fatalf("%s: estimates diverge: wire-merge %v, live-merge %v, single %v",
+				name, a, b, c)
+		}
+	}
+	requireBucketingEqual(t, whole["bucketing"].(*Bucketing), live["bucketing"].(*Bucketing))
+	requireMinimumEqual(t, whole["minimum"].(*Minimum), live["minimum"].(*Minimum))
+	requireEstimationEqual(t, whole["estimation"].(*Estimation), live["estimation"].(*Estimation))
+	requireFMEqual(t, whole["flajolet-martin"].(*FlajoletMartin), live["flajolet-martin"].(*FlajoletMartin))
+}
+
+// Decoded sketches must still reject foreign draws: two sketches from
+// different seeds stay incompatible across the wire.
+func TestCodecMergeRejectsForeignDraws(t *testing.T) {
+	n := 32
+	a := NewBucketing(n, mergeOpts(81, 1))
+	b := NewBucketing(n, mergeOpts(82, 1))
+	blob, _ := EncodeSketch(b)
+	dec, err := DecodeSketch(blob, 1)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := a.Merge(dec); !errors.Is(err, ErrIncompatibleSketch) {
+		t.Fatalf("merge of foreign decoded sketch: got %v, want ErrIncompatibleSketch", err)
+	}
+}
+
+// Corrupt-input taxonomy: wrong magic, unknown kind, future version,
+// truncation at every prefix, and trailing garbage all yield typed errors.
+func TestCodecDecodeErrors(t *testing.T) {
+	n := 16
+	s := NewMinimum(n, mergeOpts(91, 1))
+	feedChunks(s, dupStream(n, 200, stats.NewRNG(0x91)))
+	blob, _ := EncodeSketch(s)
+
+	if _, err := DecodeSketch(nil, 1); err == nil {
+		t.Fatal("empty input decoded")
+	}
+	bad := bytes.Clone(blob)
+	bad[0] = 'X'
+	if _, err := DecodeSketch(bad, 1); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("bad magic: got %v, want ErrCorrupt", err)
+	}
+	bad = bytes.Clone(blob)
+	bad[2] = 0xee
+	if _, err := DecodeSketch(bad, 1); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("unknown kind: got %v, want ErrCorrupt", err)
+	}
+	bad = bytes.Clone(blob)
+	bad[3] = minimumVersion + 1
+	var verr *wire.VersionError
+	if _, err := DecodeSketch(bad, 1); !errors.As(err, &verr) {
+		t.Fatalf("future version: got %v, want VersionError", err)
+	} else if verr.Kind != wire.KindMinimum || verr.Version != minimumVersion+1 {
+		t.Fatalf("version error carries %+v", verr)
+	}
+	for cut := 0; cut < len(blob); cut += 7 {
+		if _, err := DecodeSketch(blob[:cut], 1); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	if _, err := DecodeSketch(append(bytes.Clone(blob), 0), 1); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("trailing byte: got %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzUnmarshalSketch drives DecodeSketch with corrupt, truncated, and
+// bit-flipped snapshots: it must return typed errors, never panic, and any
+// accepted input must re-encode canonically and answer Estimate.
+func FuzzUnmarshalSketch(f *testing.F) {
+	n := 16
+	stream := dupStream(n, 120, stats.NewRNG(0xf022))
+	sketches, _ := codecSketches(n, 1)
+	for _, s := range sketches {
+		feedChunks(s, stream)
+		blob, _ := EncodeSketch(s)
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'F', '0', wire.KindBucketing, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSketch(data, 1)
+		if err != nil {
+			if s != nil {
+				t.Fatal("error with non-nil sketch")
+			}
+			return
+		}
+		// Accepted input: the sketch must be fully functional and its wire
+		// form canonical.
+		_ = s.Estimate()
+		reblob, ok := EncodeSketch(s)
+		if !ok {
+			t.Fatal("decoded sketch refuses to re-encode")
+		}
+		dec2, err := DecodeSketch(reblob, 1)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+		if dec2.Estimate() != s.Estimate() {
+			t.Fatal("re-decoded estimate diverges")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"mcf0/internal/bitvec"
 	"mcf0/internal/par"
@@ -42,12 +43,24 @@ type Concurrent struct {
 	hasCache bool
 }
 
-// replica pads each sketch's mutex onto its own cache lines so writers
-// hammering neighbouring replicas never false-share.
-type replica struct {
+// replicaState is the payload of one replica slot: its lock and sketch.
+type replicaState struct {
 	mu sync.Mutex
 	sk Sketch
-	_  [128 - 24]byte
+}
+
+// replicaSpan is the stride replicas are padded to: two cache lines, so
+// writers hammering neighbouring replicas never false-share (the spatial
+// prefetcher pairs adjacent 64-byte lines).
+const replicaSpan = 128
+
+// replica pads each sketch's state onto its own cache lines. The pad is
+// computed from the real field layout — unsafe.Sizeof is a compile-time
+// constant — so it stays correct across pointer widths and future field
+// changes instead of hard-coding the 64-bit layout's 24 bytes.
+type replica struct {
+	replicaState
+	_ [(replicaSpan - unsafe.Sizeof(replicaState{})%replicaSpan) % replicaSpan]byte
 }
 
 // NewConcurrent wraps seed in a concurrent front with the given number of
@@ -147,6 +160,26 @@ func (c *Concurrent) Estimate() float64 {
 	}
 	c.cached, c.cachedV, c.hasCache = est, v, true
 	return est
+}
+
+// MergedClone locks every replica and returns a deep copy of their merged
+// state — the snapshot primitive: the returned sketch shares no mutable
+// state with the front (only the immutable hash draws), so it can be
+// marshaled or inspected while ingestion continues.
+func (c *Concurrent) MergedClone() Sketch {
+	c.estMu.Lock()
+	defer c.estMu.Unlock()
+	for i := range c.replicas {
+		c.replicas[i].mu.Lock()
+	}
+	defer c.unlockAll()
+	merged := c.replicas[0].sk.Clone()
+	for i := 1; i < len(c.replicas); i++ {
+		if err := merged.Merge(c.replicas[i].sk); err != nil {
+			panic("streaming: concurrent replicas diverged: " + err.Error())
+		}
+	}
+	return merged
 }
 
 func (c *Concurrent) unlockAll() {

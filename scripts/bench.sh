@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Runs the hot-path benchmarks with -benchmem and regenerates BENCH_6.json,
+# Runs the hot-path benchmarks with -benchmem and regenerates BENCH_7.json,
 # pairing the results with the checked-in pre-change baseline
-# (bench/baseline6_*.txt, captured at the PR-5 tree before the lock-free
-# concurrent-ingestion front). Raw `go test -bench` transcripts go to
+# (bench/baseline7_*.txt, captured at the PR-6 tree before the versioned
+# wire codec). BenchmarkSketchMarshalRoundTrip is new in PR 7 (the codec's
+# snapshot cost) and therefore has no baseline row. Raw `go test -bench`
+# transcripts go to
 # $BENCH_DIR (a fresh temp directory by default) instead of bench/, so a
 # benchmark run no longer dirties the working tree; export BENCH_DIR to
 # keep them somewhere inspectable (CI does, to upload them as artifacts).
@@ -21,9 +23,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_6.json}
+OUT=${1:-BENCH_7.json}
 BENCH_DIR=${BENCH_DIR:-$(mktemp -d)}
-HOT='BenchmarkA1HashFamily|BenchmarkToeplitzEvalInto|BenchmarkE4F0Sketches|BenchmarkE4SketchBatch|BenchmarkGF2$|BenchmarkSystemRewind|BenchmarkE1ApproxMC|BenchmarkE2FindMin|BenchmarkE6DNFStream|BenchmarkConcurrentIngest'
+HOT='BenchmarkA1HashFamily|BenchmarkToeplitzEvalInto|BenchmarkE4F0Sketches|BenchmarkE4SketchBatch|BenchmarkGF2$|BenchmarkSystemRewind|BenchmarkE1ApproxMC|BenchmarkE2FindMin|BenchmarkE6DNFStream|BenchmarkConcurrentIngest|BenchmarkSketchMarshalRoundTrip'
 
 mkdir -p "$BENCH_DIR"
 go test . -run '^$' -bench "$HOT" -benchmem -benchtime 300ms | tee "$BENCH_DIR/current_hot.txt"
@@ -36,7 +38,8 @@ if [ "$(nproc 2>/dev/null || echo 1)" = 1 ]; then
   NOTE="CAVEAT: captured on a single-core machine (nproc=1) — the replicas=gomaxprocs / par=max variants collapse to the serial figure and multi-core scaling of the concurrent front is unmeasured here; rerun on multi-core hardware to see it."
 fi
 go run ./scripts/benchjson -out "$OUT" -note "$NOTE" \
-  -baseline bench/baseline6_hot.txt -baseline bench/baseline6_sat.txt \
+  -baseline bench/baseline7_hot.txt -baseline bench/baseline7_sat.txt \
+  -baseline bench/baseline7_streaming.txt -baseline bench/baseline7_gf2poly.txt \
   -current "$BENCH_DIR/current_hot.txt" -current "$BENCH_DIR/current_sat.txt" \
   -current "$BENCH_DIR/current_streaming.txt" -current "$BENCH_DIR/current_gf2poly.txt"
 
