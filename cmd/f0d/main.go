@@ -1,0 +1,136 @@
+// Command f0d is the multi-tenant sketch daemon: named F0 sketches
+// served over HTTP/JSON with bearer-token auth, per-tenant quotas and
+// rate limits, snapshot/restore crash recovery through the versioned
+// wire codec, and a Prometheus-style /metrics endpoint. See docs/API.md
+// for the endpoint reference and docs/OPERATIONS.md for the runbook.
+//
+//	-addr string       listen address (default ":8080")
+//	-token string      single-tenant shortcut: "tenant:token"
+//	-auth path         auth file, one tenant per line:
+//	                     <tenant> <token> [max_sketches] [rate_per_sec] [burst]
+//	                   '#' starts a comment; -token and -auth may be combined
+//	-data path         snapshot directory; enables POST .../snapshot, the
+//	                   shutdown snapshot of dirty sketches, and
+//	                   restore-on-boot crash recovery ("" disables all three)
+//	-max-batch int     max elements per ingest request (default 65536)
+//	-max-body bytes    max request body size (default 8 MiB)
+//
+// The daemon refuses to start without at least one tenant — there is no
+// unauthenticated mode. On SIGINT/SIGTERM it drains in-flight requests,
+// snapshots every dirty sketch to -data, and exits 0; a subsequent start
+// with the same -data restores every sketch bit-identically (determinism
+// invariant 6), so estimates after a restart equal those of an
+// uninterrupted run (invariant 7).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"mcf0/internal/server"
+	"mcf0/internal/server/middleware"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		token    = flag.String("token", "", `single-tenant shortcut: "tenant:token"`)
+		authFile = flag.String("auth", "", "auth file: <tenant> <token> [max_sketches] [rate_per_sec] [burst] per line")
+		dataDir  = flag.String("data", "", "snapshot directory (enables snapshot/restore; empty disables)")
+		maxBatch = flag.Int("max-batch", 0, "max elements per ingest request (0 = 65536)")
+		maxBody  = flag.Int64("max-body", 0, "max request body bytes (0 = 8 MiB)")
+	)
+	flag.Parse()
+
+	var tenants []middleware.TenantConfig
+	if *token != "" {
+		name, tok, ok := strings.Cut(*token, ":")
+		if !ok || name == "" || tok == "" {
+			fatal(fmt.Errorf(`-token wants "tenant:token", got %q`, *token))
+		}
+		tenants = append(tenants, middleware.TenantConfig{Name: name, Token: tok})
+	}
+	if *authFile != "" {
+		fileTenants, err := loadAuthFile(*authFile)
+		if err != nil {
+			fatal(err)
+		}
+		tenants = append(tenants, fileTenants...)
+	}
+	if len(tenants) == 0 {
+		fatal(fmt.Errorf("no tenants configured: pass -token tenant:token or -auth <file> (f0d has no unauthenticated mode)"))
+	}
+
+	s, err := server.New(server.Config{
+		Tenants:      tenants,
+		DataDir:      *dataDir,
+		MaxBatch:     *maxBatch,
+		MaxBodyBytes: *maxBody,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.ListenAndServe(ctx, *addr); err != nil {
+		fatal(err)
+	}
+}
+
+// loadAuthFile parses the tenant file: whitespace-separated fields
+// <tenant> <token> [max_sketches] [rate_per_sec] [burst], '#' comments.
+func loadAuthFile(path string) ([]middleware.TenantConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tenants []middleware.TenantConfig
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 5 {
+			return nil, fmt.Errorf("%s:%d: want <tenant> <token> [max_sketches] [rate_per_sec] [burst]", path, lineNo)
+		}
+		tc := middleware.TenantConfig{Name: fields[0], Token: fields[1]}
+		if len(fields) > 2 {
+			if tc.MaxSketches, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("%s:%d: max_sketches: %v", path, lineNo, err)
+			}
+		}
+		if len(fields) > 3 {
+			if tc.RatePerSec, err = strconv.ParseFloat(fields[3], 64); err != nil {
+				return nil, fmt.Errorf("%s:%d: rate_per_sec: %v", path, lineNo, err)
+			}
+		}
+		if len(fields) > 4 {
+			if tc.Burst, err = strconv.Atoi(fields[4]); err != nil {
+				return nil, fmt.Errorf("%s:%d: burst: %v", path, lineNo, err)
+			}
+		}
+		tenants = append(tenants, tc)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tenants, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "f0d:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadAuthFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "auth")
+	content := `# production tenants
+acme s3cret 10 100 200
+
+beta  hunter2
+gamma g-tok 5
+`
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tenants, err := loadAuthFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 3 {
+		t.Fatalf("parsed %d tenants, want 3", len(tenants))
+	}
+	a := tenants[0]
+	if a.Name != "acme" || a.Token != "s3cret" || a.MaxSketches != 10 || a.RatePerSec != 100 || a.Burst != 200 {
+		t.Fatalf("acme parsed as %+v", a)
+	}
+	if b := tenants[1]; b.Name != "beta" || b.Token != "hunter2" || b.MaxSketches != 0 {
+		t.Fatalf("beta parsed as %+v", b)
+	}
+	if g := tenants[2]; g.Name != "gamma" || g.MaxSketches != 5 {
+		t.Fatalf("gamma parsed as %+v", g)
+	}
+}
+
+func TestLoadAuthFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"token-missing": "lonely\n",
+		"too-many":      "a t 1 2 3 4\n",
+		"bad-number":    "a t ten\n",
+		"bad-rate":      "a t 1 fast\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadAuthFile(path); err == nil {
+			t.Errorf("%s: loadAuthFile accepted %q", name, content)
+		}
+	}
+	if _, err := loadAuthFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("loadAuthFile accepted a missing file")
+	}
+}

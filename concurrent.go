@@ -74,6 +74,15 @@ func NewConcurrentF0(nBits int, alg Algorithm, cfg Config, replicas int) (*Concu
 // Replicas returns the replica count.
 func (c *ConcurrentF0) Replicas() int { return c.front.Replicas() }
 
+// Bits returns the universe width in bits.
+func (c *ConcurrentF0) Bits() int { return c.nBits }
+
+// Version returns the number of completed writes (Add or AddBatch calls)
+// absorbed so far. Estimate caches against this counter, so callers can
+// key their own caches (or staleness checks) the same way: an unchanged
+// Version between two reads means no write completed in between.
+func (c *ConcurrentF0) Version() uint64 { return c.front.Version() }
+
 // Add absorbs one stream element; safe to call from any goroutine.
 func (c *ConcurrentF0) Add(x uint64) {
 	if c.nBits < 64 && x >= 1<<uint(c.nBits) {

@@ -1,0 +1,257 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"mcf0"
+	"mcf0/internal/server"
+)
+
+// countDNFRef computes the reference for TestCountEndpointMatchesLibrary
+// by calling the library directly with the same parameters.
+func countDNFRef(n int, terms [][]int, seed uint64) (float64, error) {
+	res, err := mcf0.CountDNFTerms(n, terms, mcf0.AlgorithmMinimum, mcf0.Config{Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate, nil
+}
+
+// stream generates a deterministic element stream with duplicates,
+// bounded to a bits-wide universe.
+func stream(n int, bits int) []uint64 {
+	mask := uint64(1)<<uint(bits) - 1
+	xs := make([]uint64, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		xs[i] = (x >> 3) & mask
+		if i%5 == 4 {
+			xs[i] = xs[i/2] // force duplicates
+		}
+	}
+	return xs
+}
+
+// TestHTTPEstimateBitIdentical is determinism invariant 7: for every
+// sketch family and replica count, the estimate served over HTTP is
+// bit-identical to an in-process F0 with the same seed over the same
+// stream. JSON transport must not perturb the float (encoding/json
+// round-trips float64 exactly via shortest-form formatting).
+func TestHTTPEstimateBitIdentical(t *testing.T) {
+	_, ts := newServer(t, server.Config{})
+	elements := stream(4000, 20)
+
+	for _, alg := range []string{"bucketing", "minimum", "estimation"} {
+		for _, replicas := range []int{1, 3} {
+			name := fmt.Sprintf("d-%s-%d", alg, replicas)
+			t.Run(name, func(t *testing.T) {
+				status, body := do(t, "POST", ts.URL+"/v1/sketches", testToken, map[string]any{
+					"name": name, "bits": 20, "algorithm": alg, "seed": 42, "replicas": replicas,
+				})
+				if status != http.StatusCreated {
+					t.Fatalf("create: status %d body %v", status, body)
+				}
+				// Ingest in uneven batches (batching is never semantic).
+				for lo := 0; lo < len(elements); lo += 1700 {
+					hi := min(lo+1700, len(elements))
+					status, body = do(t, "POST", ts.URL+"/v1/sketches/"+name+"/add", testToken,
+						map[string]any{"elements": elements[lo:hi]})
+					if status != http.StatusOK {
+						t.Fatalf("add: status %d body %v", status, body)
+					}
+				}
+				_, body = do(t, "GET", ts.URL+"/v1/sketches/"+name+"/estimate", testToken, nil)
+				got := body["estimate"].(float64)
+
+				ref, err := mcf0.NewF0(20, mcf0.Algorithm(alg), mcf0.Config{Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.AddBatch(elements)
+				if want := ref.Estimate(); got != want {
+					t.Fatalf("HTTP estimate %v != in-process estimate %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotRestartDifferential drives the crash-recovery path:
+// serve → snapshot → restart on the same data directory → serve. The
+// restored sketch answers bit-identically, and restore + remaining
+// stream equals an uninterrupted run (invariants 6 and 7 composed).
+func TestSnapshotRestartDifferential(t *testing.T) {
+	dataDir := t.TempDir()
+	elements := stream(3000, 24)
+	half := len(elements) / 2
+
+	// First server: create, ingest the first half, snapshot explicitly.
+	s1, ts1 := newServer(t, server.Config{DataDir: dataDir})
+	status, body := do(t, "POST", ts1.URL+"/v1/sketches", testToken, map[string]any{
+		"name": "recov", "bits": 24, "algorithm": "minimum", "seed": 99, "replicas": 2,
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d body %v", status, body)
+	}
+	do(t, "POST", ts1.URL+"/v1/sketches/recov/add", testToken, map[string]any{"elements": elements[:half]})
+	_, body = do(t, "GET", ts1.URL+"/v1/sketches/recov/estimate", testToken, nil)
+	preRestart := body["estimate"].(float64)
+
+	status, body = do(t, "POST", ts1.URL+"/v1/sketches/recov/snapshot", testToken, map[string]any{})
+	if status != http.StatusOK {
+		t.Fatalf("snapshot: status %d body %v", status, body)
+	}
+	if items := body["items"].(float64); items != float64(half) {
+		t.Fatalf("snapshot covered %v items, want %d", items, half)
+	}
+	ts1.Close() // simulate a crash: no graceful shutdown, snapshot already cut
+	_ = s1
+
+	// Second server boots from the same data directory.
+	s2, ts2 := newServer(t, server.Config{DataDir: dataDir})
+	if s2.Restored() != 1 {
+		t.Fatalf("restored %d sketches, want 1", s2.Restored())
+	}
+	status, body = do(t, "GET", ts2.URL+"/v1/sketches/recov", testToken, nil)
+	if status != http.StatusOK {
+		t.Fatalf("inspect after restart: status %d", status)
+	}
+	sk := body["sketch"].(map[string]any)
+	if sk["items"].(float64) != float64(half) || sk["algorithm"] != "minimum" || sk["bits"].(float64) != 24 {
+		t.Fatalf("restored sketch lost its identity: %v", sk)
+	}
+	if sk["dirty"].(bool) {
+		t.Fatal("freshly restored sketch claims to be dirty")
+	}
+
+	// The restored estimate is bit-identical to the pre-restart one.
+	_, body = do(t, "GET", ts2.URL+"/v1/sketches/recov/estimate", testToken, nil)
+	if got := body["estimate"].(float64); got != preRestart {
+		t.Fatalf("restored estimate %v != pre-restart estimate %v", got, preRestart)
+	}
+
+	// Ingesting the remainder yields the uninterrupted-run estimate.
+	do(t, "POST", ts2.URL+"/v1/sketches/recov/add", testToken, map[string]any{"elements": elements[half:]})
+	_, body = do(t, "GET", ts2.URL+"/v1/sketches/recov/estimate", testToken, nil)
+	got := body["estimate"].(float64)
+
+	ref, err := mcf0.NewF0(24, mcf0.AlgorithmMinimum, mcf0.Config{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.AddBatch(elements)
+	if want := ref.Estimate(); got != want {
+		t.Fatalf("restore+remainder estimate %v != uninterrupted estimate %v", got, want)
+	}
+}
+
+// TestShutdownSnapshotsDirty drives the graceful-shutdown tail: dirty
+// sketches are persisted without an explicit snapshot request, and a
+// restart restores them bit-identically.
+func TestShutdownSnapshotsDirty(t *testing.T) {
+	dataDir := t.TempDir()
+	elements := stream(1500, 16)
+
+	s1, ts1 := newServer(t, server.Config{DataDir: dataDir})
+	do(t, "POST", ts1.URL+"/v1/sketches", testToken, map[string]any{
+		"name": "grace", "bits": 16, "seed": 7,
+	})
+	do(t, "POST", ts1.URL+"/v1/sketches/grace/add", testToken, map[string]any{"elements": elements})
+	_, body := do(t, "GET", ts1.URL+"/v1/sketches/grace/estimate", testToken, nil)
+	want := body["estimate"].(float64)
+	if err := s1.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts1.Close()
+
+	s2, ts2 := newServer(t, server.Config{DataDir: dataDir})
+	if s2.Restored() != 1 {
+		t.Fatalf("restored %d sketches after graceful shutdown, want 1", s2.Restored())
+	}
+	_, body = do(t, "GET", ts2.URL+"/v1/sketches/grace/estimate", testToken, nil)
+	if got := body["estimate"].(float64); got != want {
+		t.Fatalf("estimate after graceful restart %v != %v", got, want)
+	}
+}
+
+// TestConcurrentIngestAndEstimate hammers one sketch with parallel
+// ingest batches and estimate queries (run under -race in CI), then
+// checks the settled estimate equals a serial in-process run over the
+// union — parallelism is never semantic (invariant 2).
+func TestConcurrentIngestAndEstimate(t *testing.T) {
+	_, ts := newServer(t, server.Config{})
+	status, _ := do(t, "POST", ts.URL+"/v1/sketches", testToken, map[string]any{
+		"name": "hammer", "bits": 22, "algorithm": "minimum", "seed": 5, "replicas": 4,
+	})
+	if status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+
+	elements := stream(6000, 22)
+	const writers = 6
+	chunk := len(elements) / writers
+
+	var writersWG, readersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if w == writers-1 {
+			hi = len(elements)
+		}
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for at := lo; at < hi; at += 256 {
+				end := min(at+256, hi)
+				st, body := do(t, "POST", ts.URL+"/v1/sketches/hammer/add", testToken,
+					map[string]any{"elements": elements[at:end]})
+				if st != http.StatusOK {
+					t.Errorf("concurrent add: status %d body %v", st, body)
+					return
+				}
+			}
+		}()
+	}
+	// Readers hammer estimates while the writers run.
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if st, _ := do(t, "GET", ts.URL+"/v1/sketches/hammer/estimate", testToken, nil); st != http.StatusOK {
+					t.Errorf("concurrent estimate: status %d", st)
+					return
+				}
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	_, body := do(t, "GET", ts.URL+"/v1/sketches/hammer/estimate", testToken, nil)
+	got := body["estimate"].(float64)
+	if items := body["items"].(float64); items != float64(len(elements)) {
+		t.Fatalf("accepted %v items, want %d", items, len(elements))
+	}
+
+	ref, err := mcf0.NewF0(22, mcf0.AlgorithmMinimum, mcf0.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.AddBatch(elements)
+	if want := ref.Estimate(); got != want {
+		t.Fatalf("concurrent estimate %v != serial estimate %v", got, want)
+	}
+}

@@ -1,0 +1,165 @@
+// Package handlers implements f0d's HTTP/JSON endpoints: the sketch
+// lifecycle (create / list / inspect / delete), batched ingestion riding
+// ConcurrentF0.AddBatch, estimate queries with version-counter caching,
+// snapshot persistence, and one-shot model counting.
+//
+// Conventions shared by every endpoint: requests and responses are JSON;
+// errors use the envelope {"error":{"code":...,"message":...}}; client
+// mistakes (malformed bodies, unknown fields, out-of-range values,
+// missing sketches) are always typed 4xx responses — a 5xx means a server
+// bug, never bad input. 64-bit integers (stream elements, seeds) are
+// accepted as JSON numbers or decimal strings, since doubles lose
+// precision past 2^53.
+package handlers
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mcf0/internal/server/metrics"
+	"mcf0/internal/server/middleware"
+	"mcf0/internal/server/state"
+)
+
+// API carries the handlers' dependencies; one instance serves all routes.
+type API struct {
+	Registry *state.Registry
+	Metrics  *metrics.Metrics
+	// MaxBatch bounds elements per add request (0 = 65536).
+	MaxBatch int
+	// MaxBodyBytes bounds request body size (0 = 8 MiB).
+	MaxBodyBytes int64
+	// MaxCountVars bounds n for /v1/count (0 = 4096).
+	MaxCountVars int
+}
+
+func (api *API) maxBatch() int {
+	if api.MaxBatch > 0 {
+		return api.MaxBatch
+	}
+	return 65536
+}
+
+func (api *API) maxBody() int64 {
+	if api.MaxBodyBytes > 0 {
+		return api.MaxBodyBytes
+	}
+	return 8 << 20
+}
+
+func (api *API) maxCountVars() int {
+	if api.MaxCountVars > 0 {
+		return api.MaxCountVars
+	}
+	return 4096
+}
+
+// U64 is a uint64 that unmarshals from a JSON number or a decimal
+// string, so full 64-bit values survive JSON's float64 number type.
+type U64 uint64
+
+// UnmarshalJSON accepts 123 or "123".
+func (u *U64) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("want a uint64 as number or decimal string, got %s", data)
+	}
+	*u = U64(v)
+	return nil
+}
+
+// MarshalJSON renders large values as strings so they round-trip through
+// JSON parsers that read numbers as doubles.
+func (u U64) MarshalJSON() ([]byte, error) {
+	if u > 1<<53 {
+		return []byte(`"` + strconv.FormatUint(uint64(u), 10) + `"`), nil
+	}
+	return []byte(strconv.FormatUint(uint64(u), 10)), nil
+}
+
+// writeJSON emits a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// writeErr emits the canonical error envelope.
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+// decodeBody parses the request body into dst: strict JSON (unknown
+// fields rejected, trailing garbage rejected), size-capped. On failure it
+// writes a typed 4xx and returns false — malformed input can never reach
+// a handler's logic, let alone a 5xx.
+func (api *API) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, api.maxBody())
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad_request", "malformed request body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeErr(w, http.StatusBadRequest, "bad_request", "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// tenant returns the authenticated tenant (the Auth middleware runs on
+// every /v1 route, so absence is a wiring bug, not a client error).
+func tenant(r *http.Request) *middleware.Tenant {
+	t := middleware.TenantFrom(r.Context())
+	if t == nil {
+		panic("handlers: route reached without authentication middleware")
+	}
+	return t
+}
+
+// sketchOr404 resolves {name} to the tenant's sketch.
+func (api *API) sketchOr404(w http.ResponseWriter, r *http.Request) (*state.Sketch, bool) {
+	name := r.PathValue("name")
+	sk, err := api.Registry.Get(tenant(r).Name, name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "not_found", fmt.Sprintf("sketch %q not found", name))
+		return nil, false
+	}
+	return sk, true
+}
+
+// Healthz is the liveness probe: GET /healthz.
+func (api *API) Healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// tenantLabel renders the metric label for a tenant.
+func tenantLabel(t *middleware.Tenant) string { return metrics.Label("tenant", t.Name) }
+
+// algNames is the user-facing list of sketch families.
+const algNames = "bucketing, minimum, estimation"
+
+func validAlgorithm(alg string) bool {
+	switch strings.ToLower(alg) {
+	case "", "bucketing", "minimum", "estimation":
+		return true
+	}
+	return false
+}

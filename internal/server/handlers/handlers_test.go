@@ -1,0 +1,51 @@
+package handlers
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestU64RoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want uint64
+	}{
+		{`0`, 0},
+		{`123`, 123},
+		{`"123"`, 123},
+		{`9007199254740992`, 1 << 53},
+		{`"18446744073709551615"`, 1<<64 - 1}, // max uint64 only fits as a string
+	} {
+		var u U64
+		if err := json.Unmarshal([]byte(tc.in), &u); err != nil {
+			t.Errorf("Unmarshal(%s): %v", tc.in, err)
+			continue
+		}
+		if uint64(u) != tc.want {
+			t.Errorf("Unmarshal(%s) = %d, want %d", tc.in, u, tc.want)
+		}
+		// Marshal → Unmarshal is the identity regardless of magnitude.
+		out, err := json.Marshal(u)
+		if err != nil {
+			t.Errorf("Marshal(%d): %v", u, err)
+			continue
+		}
+		var back U64
+		if err := json.Unmarshal(out, &back); err != nil || back != u {
+			t.Errorf("round trip %s → %s → %d (err %v), want %d", tc.in, out, back, err, u)
+		}
+	}
+	// Values past 2^53 marshal as strings so double-based parsers keep
+	// full precision.
+	out, _ := json.Marshal(U64(1<<53 + 1))
+	if out[0] != '"' {
+		t.Errorf("U64(2^53+1) marshalled as a bare number: %s", out)
+	}
+
+	for _, bad := range []string{`-1`, `1.5`, `"ten"`, `""`, `null`, `"1e3"`, `true`} {
+		var u U64
+		if err := json.Unmarshal([]byte(bad), &u); err == nil {
+			t.Errorf("Unmarshal(%s) accepted, want error", bad)
+		}
+	}
+}

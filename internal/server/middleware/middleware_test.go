@@ -1,0 +1,144 @@
+package middleware
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mcf0/internal/server/metrics"
+)
+
+func TestNewAuthValidation(t *testing.T) {
+	met := metrics.New()
+	for _, tc := range []struct {
+		name    string
+		tenants []TenantConfig
+	}{
+		{"empty name", []TenantConfig{{Name: "", Token: "x"}}},
+		{"empty token", []TenantConfig{{Name: "a", Token: ""}}},
+		{"duplicate tenant", []TenantConfig{{Name: "a", Token: "x"}, {Name: "a", Token: "y"}}},
+		{"duplicate token", []TenantConfig{{Name: "a", Token: "x"}, {Name: "b", Token: "x"}}},
+	} {
+		if _, err := NewAuth(tc.tenants, met, nil); err == nil {
+			t.Errorf("%s: NewAuth accepted bad config", tc.name)
+		}
+	}
+	if _, err := NewAuth([]TenantConfig{{Name: "a", Token: "x"}, {Name: "b", Token: "y"}}, met, nil); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestBearerToken(t *testing.T) {
+	mk := func(h string) *http.Request {
+		r := httptest.NewRequest("GET", "/", nil)
+		if h != "" {
+			r.Header.Set("Authorization", h)
+		}
+		return r
+	}
+	for _, tc := range []struct {
+		header string
+		token  string
+		ok     bool
+	}{
+		{"", "", false},
+		{"Bearer", "", false},
+		{"Bearer ", "", false},
+		{"Basic dXNlcg==", "", false},
+		{"Bearer tok", "tok", true},
+		{"bearer tok", "tok", true}, // scheme is case-insensitive
+		{"BEARER tok", "tok", true},
+	} {
+		token, ok := bearerToken(mk(tc.header))
+		if ok != tc.ok || token != tc.token {
+			t.Errorf("bearerToken(%q) = (%q, %v), want (%q, %v)", tc.header, token, ok, tc.token, tc.ok)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	met := metrics.New()
+	auth, err := NewAuth([]TenantConfig{{Name: "a", Token: "x", RatePerSec: 2, Burst: 3}}, met, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tenant *Tenant
+	for _, tn := range auth.byToken {
+		tenant = tn
+	}
+	now := time.Unix(0, 0)
+	// Burst of 3, then dry.
+	for i := 0; i < 3; i++ {
+		if !tenant.allow(now) {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if tenant.allow(now) {
+		t.Fatal("4th request in one instant should be denied")
+	}
+	// 500ms refills one token at 2/s.
+	now = now.Add(500 * time.Millisecond)
+	if !tenant.allow(now) {
+		t.Fatal("request after refill denied")
+	}
+	if tenant.allow(now) {
+		t.Fatal("bucket should be dry again")
+	}
+	// A long idle period caps at the burst, not unbounded.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !tenant.allow(now) {
+			t.Fatalf("post-idle burst request %d denied", i)
+		}
+	}
+	if tenant.allow(now) {
+		t.Fatal("idle time must not accumulate beyond the burst")
+	}
+}
+
+func TestBurstDefaults(t *testing.T) {
+	met := metrics.New()
+	auth, err := NewAuth([]TenantConfig{{Name: "a", Token: "x", RatePerSec: 0.5}}, met, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range auth.byToken {
+		if tn.burst != 1 {
+			t.Fatalf("burst = %v, want the max(1, rate) default", tn.burst)
+		}
+	}
+	// Rate 0 = unlimited: allow never denies.
+	auth, err = NewAuth([]TenantConfig{{Name: "b", Token: "y"}}, met, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range auth.byToken {
+		for i := 0; i < 100; i++ {
+			if !tn.allow(time.Unix(0, 0)) {
+				t.Fatal("unlimited tenant was rate limited")
+			}
+		}
+	}
+}
+
+func TestObservePanicRecovery(t *testing.T) {
+	met := metrics.New()
+	h := Observe("GET /boom", met, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", rec.Code)
+	}
+	var body struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error.Code != "internal" {
+		t.Fatalf("panic response %q (err %v), want the internal error envelope", rec.Body.String(), err)
+	}
+}

@@ -1,0 +1,62 @@
+package server_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"mcf0/internal/server"
+	"mcf0/internal/server/middleware"
+)
+
+// headingRE matches docs/API.md endpoint headings: ### `METHOD /path`.
+var headingRE = regexp.MustCompile("(?m)^### `(GET|POST|PUT|PATCH|DELETE) ([^`]+)`")
+
+// TestRoutesDocumented cross-checks the live route table against
+// docs/API.md in both directions: every registered route must have an
+// endpoint heading, and every endpoint heading must correspond to a
+// registered route. Shipping an undocumented endpoint — or documenting
+// a phantom one — fails CI here.
+func TestRoutesDocumented(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document every route: %v", err)
+	}
+
+	documented := make(map[string]bool)
+	for _, m := range headingRE.FindAllStringSubmatch(string(raw), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/API.md has no endpoint headings (want lines like \"### `POST /v1/sketches`\")")
+	}
+
+	s, err := server.New(server.Config{
+		Tenants: []middleware.TenantConfig{{Name: "doc", Token: "doc-token"}},
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	served := make(map[string]bool)
+	for _, rt := range s.Routes() {
+		key := rt.Method + " " + rt.Pattern
+		served[key] = true
+		if rt.Doc == "" {
+			t.Errorf("route %q has an empty Doc summary", key)
+		}
+		if !documented[key] {
+			t.Errorf("route %q is served but has no \"### `%s`\" heading in docs/API.md", key, key)
+		}
+	}
+	for key := range documented {
+		if !served[key] {
+			t.Errorf("docs/API.md documents %q but no such route is registered", key)
+		}
+	}
+
+	if len(served) < 10 {
+		t.Errorf("route table has %d routes; the daemon ships 10 — did a route get dropped?", len(served))
+	}
+}

@@ -1,0 +1,204 @@
+// Package server assembles the f0d daemon from its parts — the sketch
+// registry (state), the HTTP endpoints (handlers), bearer-token auth and
+// per-tenant rate limiting (middleware), and the Prometheus registry
+// (metrics) — behind one declarative route table.
+//
+// Lifecycle: New restores every persisted sketch from the data directory
+// (crash recovery through the versioned wire codec), ListenAndServe runs
+// until the context is cancelled, then drains in-flight requests and
+// snapshots every dirty sketch so no acknowledged write is older than
+// one snapshot on a clean shutdown. The route table (Routes) is data,
+// not wiring: the docs cross-check test walks it to fail CI when an
+// endpoint ships undocumented in docs/API.md.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"mcf0/internal/server/handlers"
+	"mcf0/internal/server/metrics"
+	"mcf0/internal/server/middleware"
+	"mcf0/internal/server/state"
+)
+
+// Config parameterises a daemon instance.
+type Config struct {
+	// Tenants are the accepted identities; the daemon refuses to start
+	// with none (there is deliberately no unauthenticated mode).
+	Tenants []middleware.TenantConfig
+	// DataDir is the snapshot directory; "" disables persistence
+	// (snapshot requests then answer 409, shutdown skips snapshotting).
+	DataDir string
+	// MaxBatch bounds elements per ingest request (0 = 65536).
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+	// Now is the rate limiter's clock (nil = time.Now; tests inject).
+	Now func() time.Time
+	// Logf receives operational log lines (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server is one assembled daemon.
+type Server struct {
+	cfg      Config
+	logf     func(string, ...any)
+	registry *state.Registry
+	metrics  *metrics.Metrics
+	api      *handlers.API
+	auth     *middleware.Auth
+	handler  http.Handler
+	restored int
+}
+
+// Route is one entry of the declarative route table.
+type Route struct {
+	// Method and Pattern form the net/http ServeMux pattern
+	// ("POST /v1/sketches/{name}/add").
+	Method  string
+	Pattern string
+	// Doc is a one-line summary (surfaced by the docs cross-check).
+	Doc string
+	// Auth marks routes behind the bearer-token middleware.
+	Auth bool
+
+	handler http.HandlerFunc
+}
+
+// New assembles a server and restores persisted sketches from
+// cfg.DataDir (refusing to start over corrupt snapshots).
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("server: refusing to start without tenants (no unauthenticated mode)")
+	}
+	for _, t := range cfg.Tenants {
+		if !state.ValidName(t.Name) {
+			return nil, fmt.Errorf("server: invalid tenant name %q", t.Name)
+		}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	met := metrics.New()
+	auth, err := middleware.NewAuth(cfg.Tenants, met, cfg.Now)
+	if err != nil {
+		return nil, err
+	}
+	reg := state.NewRegistry(cfg.DataDir)
+	restored, err := reg.Load()
+	if err != nil {
+		return nil, fmt.Errorf("server: restore-on-boot: %w", err)
+	}
+	met.RegisterGauge("f0d_sketches", func() map[string]float64 {
+		out := make(map[string]float64)
+		for tenant, n := range reg.CountByTenant() {
+			out[metrics.Label("tenant", tenant)] = float64(n)
+		}
+		return out
+	})
+	met.RegisterGauge("f0d_sketch_words", func() map[string]float64 {
+		out := make(map[string]float64)
+		for tenant, words := range reg.WordsByTenant() {
+			out[metrics.Label("tenant", tenant)] = float64(words)
+		}
+		return out
+	})
+	s := &Server{
+		cfg:      cfg,
+		logf:     logf,
+		registry: reg,
+		metrics:  met,
+		api:      &handlers.API{Registry: reg, Metrics: met, MaxBatch: cfg.MaxBatch, MaxBodyBytes: cfg.MaxBodyBytes},
+		auth:     auth,
+		restored: restored,
+	}
+	mux := http.NewServeMux()
+	for _, rt := range s.Routes() {
+		h := http.Handler(rt.handler)
+		if rt.Auth {
+			h = s.auth.Wrap(h)
+		}
+		h = middleware.Observe(rt.Method+" "+rt.Pattern, met, h)
+		mux.Handle(rt.Method+" "+rt.Pattern, h)
+	}
+	s.handler = mux
+	return s, nil
+}
+
+// Routes returns the daemon's full route table. Every entry here must be
+// documented in docs/API.md — the cross-check test fails CI otherwise.
+func (s *Server) Routes() []Route {
+	return []Route{
+		{Method: "GET", Pattern: "/healthz", Doc: "liveness probe", handler: s.api.Healthz},
+		{Method: "GET", Pattern: "/metrics", Doc: "Prometheus metrics exposition", handler: s.metrics.ServeHTTP},
+		{Method: "POST", Pattern: "/v1/sketches", Doc: "create a named sketch", Auth: true, handler: s.api.Create},
+		{Method: "GET", Pattern: "/v1/sketches", Doc: "list the tenant's sketches", Auth: true, handler: s.api.List},
+		{Method: "GET", Pattern: "/v1/sketches/{name}", Doc: "inspect one sketch", Auth: true, handler: s.api.Get},
+		{Method: "DELETE", Pattern: "/v1/sketches/{name}", Doc: "delete a sketch and its snapshots", Auth: true, handler: s.api.Delete},
+		{Method: "POST", Pattern: "/v1/sketches/{name}/add", Doc: "batched element ingest", Auth: true, handler: s.api.Add},
+		{Method: "GET", Pattern: "/v1/sketches/{name}/estimate", Doc: "query the distinct-count estimate", Auth: true, handler: s.api.Estimate},
+		{Method: "POST", Pattern: "/v1/sketches/{name}/snapshot", Doc: "persist a crash-recovery snapshot", Auth: true, handler: s.api.Snapshot},
+		{Method: "POST", Pattern: "/v1/count", Doc: "one-shot approximate model count", Auth: true, handler: s.api.Count},
+	}
+}
+
+// Handler returns the fully wired HTTP handler (auth, rate limiting,
+// metrics, and panic recovery included) — what tests mount on httptest
+// servers and ListenAndServe serves.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry exposes the sketch registry (the f0d CLI logs against it).
+func (s *Server) Registry() *state.Registry { return s.registry }
+
+// Restored returns how many sketches restore-on-boot loaded.
+func (s *Server) Restored() int { return s.restored }
+
+// Shutdown snapshots every dirty sketch to the data directory; it is the
+// graceful-shutdown tail and safe to call on a server that never
+// listened. Without a data directory it is a no-op.
+func (s *Server) Shutdown() error {
+	n, err := s.registry.SnapshotDirty()
+	if n > 0 || err != nil {
+		s.logf("f0d: shutdown snapshot: %d sketch(es) persisted, err=%v", n, err)
+	}
+	return err
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains
+// in-flight requests (grace period) and runs Shutdown. The returned
+// error is nil on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener (tests and the CLI
+// use it to learn the bound port before serving).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.logf("f0d: serving on %s (%d sketch(es) restored)", ln.Addr(), s.restored)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		s.Shutdown()
+		return err
+	}
+	return s.Shutdown()
+}

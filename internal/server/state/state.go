@@ -1,0 +1,446 @@
+// Package state is the f0d daemon's sketch registry: named, tenant-owned
+// ConcurrentF0 sketches with per-tenant quota accounting, an
+// estimate cache keyed on the front's write-version counter, and
+// snapshot persistence through the mcf0 wire codec (atomic
+// write-to-temp-then-rename of a .snap blob plus a .json metadata
+// sidecar) with restore-on-boot crash recovery.
+//
+// Concurrency contract: the Registry mutex guards only the name → sketch
+// map and the per-tenant counts. Ingestion and estimation never hold it —
+// they ride ConcurrentF0's own lock-free front — so a slow merge on one
+// sketch never stalls ingest on another, and handlers may call AddBatch,
+// Estimate, and Snapshot on the same sketch from any number of
+// goroutines.
+package state
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mcf0"
+)
+
+// Registry errors, mapped to HTTP statuses by the handlers.
+var (
+	ErrExists    = errors.New("state: sketch already exists")
+	ErrNotFound  = errors.New("state: sketch not found")
+	ErrQuota     = errors.New("state: tenant sketch quota exhausted")
+	ErrNoDataDir = errors.New("state: snapshot persistence disabled (no data directory)")
+)
+
+// nameRE bounds sketch and tenant names to one safe path element.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// ValidName reports whether s is acceptable as a sketch or tenant name:
+// 1–64 characters from [A-Za-z0-9_.-], starting alphanumeric (so path
+// traversal and dotfiles are unrepresentable).
+func ValidName(s string) bool { return nameRE.MatchString(s) }
+
+// SketchConfig is the creation-time configuration of a named sketch; it
+// is echoed by the inspect endpoints and persisted in the snapshot
+// metadata sidecar so a restore rebuilds the same front.
+type SketchConfig struct {
+	// Bits is the universe width (1–64).
+	Bits int `json:"bits"`
+	// Algorithm is the sketch family: bucketing, minimum, or estimation.
+	Algorithm string `json:"algorithm"`
+	// Epsilon, Delta, Thresh, Iterations, Seed parameterise mcf0.Config;
+	// zero values select the paper constants (see Config.ResolvedThresh).
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	Thresh     int     `json:"thresh,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	// Replicas sizes the lock-free concurrent front (≤ 0 = GOMAXPROCS).
+	Replicas int `json:"replicas,omitempty"`
+}
+
+func (c SketchConfig) mcf0Config() mcf0.Config {
+	return mcf0.Config{
+		Epsilon:    c.Epsilon,
+		Delta:      c.Delta,
+		Thresh:     c.Thresh,
+		Iterations: c.Iterations,
+		Seed:       c.Seed,
+	}
+}
+
+// Resolved returns the thresh and iterations actually in effect.
+func (c SketchConfig) Resolved() (thresh, iterations int) {
+	cfg := c.mcf0Config()
+	return cfg.ResolvedThresh(), cfg.ResolvedIterations()
+}
+
+// Sketch is one live named sketch: a ConcurrentF0 front plus the
+// bookkeeping the service layers on top (items accepted, estimate cache,
+// snapshot dirtiness).
+type Sketch struct {
+	Tenant string
+	Name   string
+	Config SketchConfig
+
+	front *mcf0.ConcurrentF0
+	items atomic.Uint64
+
+	estMu   sync.Mutex
+	cached  float64
+	cachedV uint64
+	hasEst  bool
+
+	snapMu      sync.Mutex
+	snapped     bool   // a snapshot (or the boot restore) exists on disk
+	snapVersion uint64 // front.Version() the last snapshot covered
+}
+
+// AddBatch ingests a validated chunk through the lock-free front; safe
+// from any goroutine. Elements must already be range-checked against
+// Config.Bits (the handler's job — the front panics on violations).
+func (s *Sketch) AddBatch(xs []uint64) {
+	s.front.AddBatch(xs)
+	s.items.Add(uint64(len(xs)))
+}
+
+// Estimate returns the current estimate, the write-version it covers,
+// and whether it was served from the cache. The cache is keyed on
+// ConcurrentF0.Version — the same counter the front's internal cache
+// uses — so repeated queries between writes cost no replica locking.
+// The cached value may cover writes that completed while the merge ran
+// (it is never staler than the returned version).
+func (s *Sketch) Estimate() (est float64, version uint64, cached bool) {
+	v := s.front.Version()
+	s.estMu.Lock()
+	defer s.estMu.Unlock()
+	if s.hasEst && s.cachedV == v {
+		return s.cached, v, true
+	}
+	est = s.front.Estimate()
+	s.cached, s.cachedV, s.hasEst = est, v, true
+	return est, v, false
+}
+
+// Items returns the number of elements accepted so far.
+func (s *Sketch) Items() uint64 { return s.items.Load() }
+
+// Version returns the front's completed-write counter.
+func (s *Sketch) Version() uint64 { return s.front.Version() }
+
+// SketchWords returns the summed replica footprint in 64-bit words.
+func (s *Sketch) SketchWords() int { return s.front.SketchWords() }
+
+// Replicas returns the front's replica count.
+func (s *Sketch) Replicas() int { return s.front.Replicas() }
+
+// Dirty reports whether the sketch has state no on-disk snapshot covers:
+// it has never been snapshotted, or writes completed since the last one.
+func (s *Sketch) Dirty() bool {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return !s.snapped || s.front.Version() != s.snapVersion
+}
+
+// SnapshotInfo describes one persisted snapshot.
+type SnapshotInfo struct {
+	// File is the blob's path relative to the registry's data directory.
+	File string
+	// Bytes is the encoded blob size.
+	Bytes int
+	// Items and Version are the sketch's counters when the snapshot was
+	// cut (Version is conservative: writes racing the encode re-dirty
+	// the sketch and land in the next snapshot).
+	Items   uint64
+	Version uint64
+}
+
+// snapshotMeta is the .json sidecar persisted next to each blob.
+type snapshotMeta struct {
+	Tenant string       `json:"tenant"`
+	Name   string       `json:"name"`
+	Items  uint64       `json:"items"`
+	Config SketchConfig `json:"config"`
+}
+
+// Registry maps (tenant, name) to live sketches.
+type Registry struct {
+	dataDir string
+
+	mu       sync.Mutex
+	sketches map[string]*Sketch
+	byTenant map[string]int
+}
+
+// NewRegistry returns an empty registry persisting snapshots under
+// dataDir ("" disables persistence; Snapshot then fails with
+// ErrNoDataDir and Load is a no-op).
+func NewRegistry(dataDir string) *Registry {
+	return &Registry{
+		dataDir:  dataDir,
+		sketches: make(map[string]*Sketch),
+		byTenant: make(map[string]int),
+	}
+}
+
+func key(tenant, name string) string { return tenant + "/" + name }
+
+// Create registers a new sketch. maxSketches > 0 bounds the tenant's
+// live-sketch count (ErrQuota beyond it); invalid configurations are
+// rejected by mcf0.NewConcurrentF0's own validation.
+func (r *Registry) Create(tenant, name string, cfg SketchConfig, maxSketches int) (*Sketch, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("state: invalid sketch name %q (want %s)", name, nameRE)
+	}
+	front, err := mcf0.NewConcurrentF0(cfg.Bits, mcf0.Algorithm(cfg.Algorithm), cfg.mcf0Config(), cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	sk := &Sketch{Tenant: tenant, Name: name, Config: cfg, front: front}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sketches[key(tenant, name)]; ok {
+		return nil, ErrExists
+	}
+	if maxSketches > 0 && r.byTenant[tenant] >= maxSketches {
+		return nil, ErrQuota
+	}
+	r.sketches[key(tenant, name)] = sk
+	r.byTenant[tenant]++
+	return sk, nil
+}
+
+// Get returns the named sketch, or ErrNotFound.
+func (r *Registry) Get(tenant, name string) (*Sketch, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sk, ok := r.sketches[key(tenant, name)]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return sk, nil
+}
+
+// List returns the tenant's sketches sorted by name.
+func (r *Registry) List(tenant string) []*Sketch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Sketch
+	for _, sk := range r.sketches {
+		if sk.Tenant == tenant {
+			out = append(out, sk)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Delete removes the named sketch and its persisted snapshot files.
+func (r *Registry) Delete(tenant, name string) error {
+	r.mu.Lock()
+	sk, ok := r.sketches[key(tenant, name)]
+	if ok {
+		delete(r.sketches, key(tenant, name))
+		r.byTenant[tenant]--
+	}
+	r.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	if r.dataDir != "" {
+		os.Remove(filepath.Join(r.dataDir, sk.Tenant, sk.Name+".snap"))
+		os.Remove(filepath.Join(r.dataDir, sk.Tenant, sk.Name+".json"))
+	}
+	return nil
+}
+
+// CountByTenant returns live-sketch counts per tenant (the f0d_sketches
+// gauge's source).
+func (r *Registry) CountByTenant() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.byTenant))
+	for t, n := range r.byTenant {
+		if n > 0 {
+			out[t] = n
+		}
+	}
+	return out
+}
+
+// WordsByTenant returns the summed sketch footprint per tenant in 64-bit
+// words (the f0d_sketch_words gauge's source).
+func (r *Registry) WordsByTenant() map[string]int {
+	r.mu.Lock()
+	sketches := make([]*Sketch, 0, len(r.sketches))
+	for _, sk := range r.sketches {
+		sketches = append(sketches, sk)
+	}
+	r.mu.Unlock()
+	out := make(map[string]int)
+	for _, sk := range sketches {
+		out[sk.Tenant] += sk.SketchWords()
+	}
+	return out
+}
+
+// All returns every live sketch (any tenant), sorted by tenant then name.
+func (r *Registry) All() []*Sketch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Sketch, 0, len(r.sketches))
+	for _, sk := range r.sketches {
+		out = append(out, sk)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Snapshot encodes the sketch's complete merged state (wire codec) and
+// persists blob + metadata sidecar atomically under the data directory.
+// Ingestion may continue concurrently: the snapshot covers at least the
+// writes completed when it was cut, and anything racing it re-dirties
+// the sketch.
+func (r *Registry) Snapshot(sk *Sketch) (SnapshotInfo, error) {
+	if r.dataDir == "" {
+		return SnapshotInfo{}, ErrNoDataDir
+	}
+	sk.snapMu.Lock()
+	defer sk.snapMu.Unlock()
+	version := sk.front.Version()
+	items := sk.items.Load()
+	blob, err := sk.front.MarshalBinary()
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	meta, err := json.Marshal(snapshotMeta{Tenant: sk.Tenant, Name: sk.Name, Items: items, Config: sk.Config})
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	dir := filepath.Join(r.dataDir, sk.Tenant)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return SnapshotInfo{}, err
+	}
+	if err := writeAtomic(filepath.Join(dir, sk.Name+".snap"), blob); err != nil {
+		return SnapshotInfo{}, err
+	}
+	if err := writeAtomic(filepath.Join(dir, sk.Name+".json"), meta); err != nil {
+		return SnapshotInfo{}, err
+	}
+	sk.snapped, sk.snapVersion = true, version
+	return SnapshotInfo{
+		File:    filepath.Join(sk.Tenant, sk.Name+".snap"),
+		Bytes:   len(blob),
+		Items:   items,
+		Version: version,
+	}, nil
+}
+
+// SnapshotDirty persists every dirty sketch (the graceful-shutdown path)
+// and returns how many it wrote. It keeps going past per-sketch failures
+// and returns the first error.
+func (r *Registry) SnapshotDirty() (int, error) {
+	if r.dataDir == "" {
+		return 0, nil
+	}
+	var firstErr error
+	written := 0
+	for _, sk := range r.All() {
+		if !sk.Dirty() {
+			continue
+		}
+		if _, err := r.Snapshot(sk); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("state: snapshot %s/%s: %w", sk.Tenant, sk.Name, err)
+			}
+			continue
+		}
+		written++
+	}
+	return written, firstErr
+}
+
+// Load restores every persisted sketch from the data directory (the
+// restore-on-boot path), returning how many it loaded. A corrupt or
+// mismatched snapshot aborts the boot with an error naming the file —
+// refusing to serve is safer than silently dropping a tenant's data.
+func (r *Registry) Load() (int, error) {
+	if r.dataDir == "" {
+		return 0, nil
+	}
+	metas, err := filepath.Glob(filepath.Join(r.dataDir, "*", "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(metas)
+	loaded := 0
+	for _, metaPath := range metas {
+		raw, err := os.ReadFile(metaPath)
+		if err != nil {
+			return loaded, err
+		}
+		var meta snapshotMeta
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return loaded, fmt.Errorf("state: corrupt snapshot metadata %s: %w", metaPath, err)
+		}
+		if !ValidName(meta.Tenant) || !ValidName(meta.Name) {
+			return loaded, fmt.Errorf("state: snapshot metadata %s names invalid sketch %q/%q", metaPath, meta.Tenant, meta.Name)
+		}
+		snapPath := strings.TrimSuffix(metaPath, ".json") + ".snap"
+		blob, err := os.ReadFile(snapPath)
+		if err != nil {
+			return loaded, err
+		}
+		front, err := mcf0.DecodeConcurrentF0(blob, meta.Config.Replicas)
+		if err != nil {
+			return loaded, fmt.Errorf("state: corrupt snapshot %s: %w", snapPath, err)
+		}
+		if front.Bits() != meta.Config.Bits {
+			return loaded, fmt.Errorf("state: snapshot %s is %d bits wide but its metadata says %d",
+				snapPath, front.Bits(), meta.Config.Bits)
+		}
+		sk := &Sketch{Tenant: meta.Tenant, Name: meta.Name, Config: meta.Config, front: front,
+			snapped: true, snapVersion: 0}
+		sk.items.Store(meta.Items)
+
+		r.mu.Lock()
+		if _, ok := r.sketches[key(meta.Tenant, meta.Name)]; ok {
+			r.mu.Unlock()
+			return loaded, fmt.Errorf("state: duplicate snapshot for %s/%s", meta.Tenant, meta.Name)
+		}
+		r.sketches[key(meta.Tenant, meta.Name)] = sk
+		r.byTenant[meta.Tenant]++
+		r.mu.Unlock()
+		loaded++
+	}
+	return loaded, nil
+}
+
+// writeAtomic writes data to path via a temp file + rename, so readers
+// (and a crash mid-write) never observe a partial file.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

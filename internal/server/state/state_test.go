@@ -1,0 +1,195 @@
+package state
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"a", "A9", "flow-1", "x_y.z", "a123456789012345678901234567890123456789012345678901234567890123"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", ".hidden", "-x", "_x", "a/b", "a b", "a\x00b", "é",
+		"a1234567890123456789012345678901234567890123456789012345678901234"} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestRegistryQuotaAndLifecycle(t *testing.T) {
+	r := NewRegistry("")
+	cfg := SketchConfig{Bits: 8}
+
+	if _, err := r.Create("t", "bad name", cfg, 0); err == nil {
+		t.Fatal("Create accepted an invalid name")
+	}
+	if _, err := r.Create("t", "s1", cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("t", "s1", cfg, 2); err != ErrExists {
+		t.Fatalf("duplicate create: %v, want ErrExists", err)
+	}
+	if _, err := r.Create("t", "s2", cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("t", "s3", cfg, 2); err != ErrQuota {
+		t.Fatalf("over-quota create: %v, want ErrQuota", err)
+	}
+	// Another tenant has its own quota and namespace.
+	if _, err := r.Create("u", "s1", cfg, 2); err != nil {
+		t.Fatalf("cross-tenant create: %v", err)
+	}
+	if n := r.CountByTenant()["t"]; n != 2 {
+		t.Fatalf("CountByTenant[t] = %d, want 2", n)
+	}
+	// Delete frees quota; deleting twice errors.
+	if err := r.Delete("t", "s2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("t", "s2"); err != ErrNotFound {
+		t.Fatalf("double delete: %v, want ErrNotFound", err)
+	}
+	if _, err := r.Create("t", "s3", cfg, 2); err != nil {
+		t.Fatalf("create after delete: %v", err)
+	}
+	if _, err := r.Get("t", "nope"); err != ErrNotFound {
+		t.Fatalf("Get missing: %v, want ErrNotFound", err)
+	}
+
+	names := func(sks []*Sketch) []string {
+		out := make([]string, len(sks))
+		for i, sk := range sks {
+			out[i] = sk.Tenant + "/" + sk.Name
+		}
+		return out
+	}
+	got := names(r.All())
+	want := []string{"t/s1", "t/s3", "u/s1"}
+	if len(got) != len(want) {
+		t.Fatalf("All() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("All() = %v, want %v (sorted)", got, want)
+		}
+	}
+}
+
+func TestSnapshotWithoutDataDir(t *testing.T) {
+	r := NewRegistry("")
+	sk, err := r.Create("t", "s", SketchConfig{Bits: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Snapshot(sk); err != ErrNoDataDir {
+		t.Fatalf("Snapshot without data dir: %v, want ErrNoDataDir", err)
+	}
+	if n, err := r.SnapshotDirty(); n != 0 || err != nil {
+		t.Fatalf("SnapshotDirty without data dir: (%d, %v), want (0, nil)", n, err)
+	}
+	if n, err := r.Load(); n != 0 || err != nil {
+		t.Fatalf("Load without data dir: (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	r := NewRegistry(t.TempDir())
+	sk, err := r.Create("t", "s", SketchConfig{Bits: 16, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.Dirty() {
+		t.Fatal("a never-snapshotted sketch must be dirty")
+	}
+	sk.AddBatch([]uint64{1, 2, 3})
+	if _, err := r.Snapshot(sk); err != nil {
+		t.Fatal(err)
+	}
+	if sk.Dirty() {
+		t.Fatal("freshly snapshotted sketch must be clean")
+	}
+	sk.AddBatch([]uint64{4})
+	if !sk.Dirty() {
+		t.Fatal("a write must re-dirty the sketch")
+	}
+	if n, err := r.SnapshotDirty(); n != 1 || err != nil {
+		t.Fatalf("SnapshotDirty = (%d, %v), want (1, nil)", n, err)
+	}
+	if sk.Dirty() {
+		t.Fatal("SnapshotDirty must leave the sketch clean")
+	}
+}
+
+func TestLoadRefusesCorruptSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry(dir)
+	sk, err := r.Create("t", "s", SketchConfig{Bits: 16, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.AddBatch([]uint64{1, 2, 3})
+	if _, err := r.Snapshot(sk); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean reload works and restores the counters.
+	r2 := NewRegistry(dir)
+	if n, err := r2.Load(); n != 1 || err != nil {
+		t.Fatalf("Load = (%d, %v), want (1, nil)", n, err)
+	}
+	got, err := r2.Get("t", "s")
+	if err != nil || got.Items() != 3 {
+		t.Fatalf("restored sketch: items=%d err=%v", got.Items(), err)
+	}
+
+	// Truncated blob → Load refuses to boot.
+	blobPath := filepath.Join(dir, "t", "s.snap")
+	blob, err := os.ReadFile(blobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blobPath, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry(dir).Load(); err == nil {
+		t.Fatal("Load accepted a truncated snapshot blob")
+	}
+	if err := os.WriteFile(blobPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt metadata → Load refuses to boot.
+	metaPath := filepath.Join(dir, "t", "s.json")
+	if err := os.WriteFile(metaPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry(dir).Load(); err == nil {
+		t.Fatal("Load accepted corrupt snapshot metadata")
+	}
+}
+
+func TestEstimateCache(t *testing.T) {
+	r := NewRegistry("")
+	sk, err := r.Create("t", "s", SketchConfig{Bits: 16, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.AddBatch([]uint64{10, 20, 30})
+	est1, v1, cached := sk.Estimate()
+	if cached {
+		t.Fatal("first estimate claims cached")
+	}
+	est2, v2, cached := sk.Estimate()
+	if !cached || est2 != est1 || v2 != v1 {
+		t.Fatalf("repeat estimate: (%v, %d, %v), want cached (%v, %d)", est2, v2, cached, est1, v1)
+	}
+	sk.AddBatch([]uint64{40})
+	_, v3, cached := sk.Estimate()
+	if cached || v3 == v1 {
+		t.Fatalf("estimate after a write must recompute (cached=%v, version %d→%d)", cached, v1, v3)
+	}
+}

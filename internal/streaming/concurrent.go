@@ -84,6 +84,13 @@ func NewConcurrent(seed Sketch, replicas int) *Concurrent {
 // Replicas returns the replica count.
 func (c *Concurrent) Replicas() int { return len(c.replicas) }
 
+// Version returns the number of completed writes (Process or ProcessBatch
+// calls) absorbed so far. Estimate's internal cache is keyed on this
+// counter, so two Version calls returning the same value bracket a window
+// in which estimates are served from cache; callers layering their own
+// caches (e.g. a network service) can key them the same way.
+func (c *Concurrent) Version() uint64 { return c.version.Load() }
+
 // acquire claims a replica without ever blocking on a contended lock
 // while any replica is free: it rotates TryLock attempts starting from a
 // round-robin position and only yields the scheduler after a full idle

@@ -100,6 +100,37 @@ func (c Config) countingOptions() counting.Options {
 	}
 }
 
+// ResolvedThresh returns the sketch width actually used: Thresh when set,
+// otherwise the paper constant ⌊96/ε²⌋+1 (with ε defaulting to 0.8).
+func (c Config) ResolvedThresh() int {
+	if c.Thresh > 0 {
+		return c.Thresh
+	}
+	eps := c.Epsilon
+	if eps <= 0 {
+		eps = 0.8
+	}
+	return int(96/(eps*eps)) + 1
+}
+
+// ResolvedIterations returns the trial/copy count actually used:
+// Iterations when set, otherwise the paper constant max(1, ⌊35·log₂(1/δ)⌋)
+// (with δ defaulting to 0.2).
+func (c Config) ResolvedIterations() int {
+	if c.Iterations > 0 {
+		return c.Iterations
+	}
+	delta := c.Delta
+	if delta <= 0 || delta >= 1 {
+		delta = 0.2
+	}
+	t := int(35 * math.Log2(1/delta))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
 func (c Config) rng() *stats.RNG {
 	seed := c.Seed
 	if seed == 0 {
@@ -364,6 +395,9 @@ func (f *F0) AddBatch(xs []uint64) {
 
 // Estimate returns the current distinct-count approximation.
 func (f *F0) Estimate() float64 { return f.est.Estimate() }
+
+// Bits returns the universe width in bits.
+func (f *F0) Bits() int { return f.nBits }
 
 // SketchWords returns the sketch footprint in 64-bit words.
 func (f *F0) SketchWords() int { return f.est.SketchWords() }
