@@ -1,0 +1,281 @@
+// Command f0load is the profiling-driven load harness: it replays a
+// seeded, deterministic mixed workload (ingest/estimate/snapshot, with
+// optional hot-key Zipf skew and burst/ramp arrival patterns) against
+// either the in-process concurrent sketch front or a live f0d HTTP
+// endpoint, and emits a JSON report with sustained ops/sec and
+// p50/p99/p999 latency per op kind. See docs/OPERATIONS.md for the
+// runbook.
+//
+//	f0load -target inproc -ops 50000 -clients 8 -zipf 1.2 -out load.json
+//	f0load -target http -url http://127.0.0.1:8080 -token s3cret \
+//	       -ops 20000 -clients 16 -slo p99=5ms,errors=0
+//
+// Workload flags (every one participates in generation, so equal flag
+// sets replay byte-identical workloads):
+//
+//	-seed N          workload seed (default 1)
+//	-ops N           total operations (default 10000)
+//	-clients N       concurrent clients (default 4)
+//	-bits N          element-universe width in bits (default 24)
+//	-batch N         elements per ingest op (default 128)
+//	-mix SPEC        op mix, e.g. ingest=90,estimate=9,snapshot=1
+//	-keys N          hot-key space size (default: full universe)
+//	-zipf S          Zipf skew over the key space (0 = uniform; else > 1)
+//	-arrival KIND    open (default), constant, burst, or ramp
+//	-rate R          target ops/sec for constant/burst/ramp
+//	-ramp-to R       final ops/sec for ramp
+//	-burst-on S      burst phase seconds (default 1)
+//	-burst-off S     silence phase seconds (default 1)
+//
+// Target flags:
+//
+//	-target KIND     inproc (default) or http
+//	-algorithm A     sketch family (bucketing, minimum, estimation)
+//	-sketch-seed N   sketch hash seed (default 42)
+//	-replicas N      ConcurrentF0 replicas (0 = GOMAXPROCS)
+//	-url URL         f0d base URL (http target)
+//	-token T         bearer token (http target)
+//	-sketch NAME     sketch name (http target; default f0load)
+//	-create          create the sketch before the run (default true)
+//	-delete          delete the sketch after the run (default false)
+//
+// Output and assertions:
+//
+//	-out PATH        report path (default "-" = stdout)
+//	-note TEXT       environment caveat appended to the report
+//	-slo SPEC        assertions, e.g. p99=5ms,ingest.p999=20ms,errors=0,
+//	                 min_ops_per_sec=1000 — violations exit 2
+//	-check           replay the ingest stream serially and require the
+//	                 target's final estimate to match bit-identically
+//	-dump            print the op sequence instead of running (replay
+//	                 transcript; byte-identical for equal flags)
+//	-cpuprofile P    write a pprof CPU profile of the run
+//	-memprofile P    write a pprof allocation profile after the run
+//
+// Exit status: 0 on success, 1 on errors, 2 on SLO violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+
+	"mcf0"
+	"mcf0/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, so tests drive the full CLI
+// in-process. Returns the exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("f0load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		ops      = fs.Int("ops", 10000, "total operations")
+		clients  = fs.Int("clients", 4, "concurrent clients")
+		bits     = fs.Int("bits", 24, "element-universe width in bits")
+		batch    = fs.Int("batch", 128, "elements per ingest op")
+		mix      = fs.String("mix", "ingest=90,estimate=10", "op mix, e.g. ingest=90,estimate=9,snapshot=1")
+		keys     = fs.Uint64("keys", 0, "hot-key space size (0 = full universe)")
+		zipf     = fs.Float64("zipf", 0, "Zipf skew over the key space (0 = uniform; else > 1)")
+		arrival  = fs.String("arrival", "open", "arrival pattern: open, constant, burst, ramp")
+		rate     = fs.Float64("rate", 0, "target ops/sec (constant/burst/ramp)")
+		rampTo   = fs.Float64("ramp-to", 0, "final ops/sec (ramp)")
+		burstOn  = fs.Float64("burst-on", 1, "burst phase seconds")
+		burstOff = fs.Float64("burst-off", 1, "silence phase seconds")
+
+		target     = fs.String("target", "inproc", "target kind: inproc or http")
+		algorithm  = fs.String("algorithm", "bucketing", "sketch family: bucketing, minimum, estimation")
+		sketchSeed = fs.Uint64("sketch-seed", 42, "sketch hash seed")
+		replicas   = fs.Int("replicas", 0, "ConcurrentF0 replicas (0 = GOMAXPROCS)")
+		url        = fs.String("url", "", "f0d base URL (http target)")
+		token      = fs.String("token", "", "bearer token (http target)")
+		sketch     = fs.String("sketch", "f0load", "sketch name (http target)")
+		create     = fs.Bool("create", true, "create the sketch before the run (http target)")
+		del        = fs.Bool("delete", false, "delete the sketch after the run (http target)")
+
+		out     = fs.String("out", "-", `report path ("-" = stdout)`)
+		note    = fs.String("note", "", "environment caveat recorded in the report")
+		slo     = fs.String("slo", "", "SLO assertions, e.g. p99=5ms,errors=0")
+		check   = fs.Bool("check", false, "verify the final estimate against a serial replay")
+		dump    = fs.Bool("dump", false, "print the op sequence instead of running")
+		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile here")
+		memProf = fs.String("memprofile", "", "write a pprof allocation profile here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "f0load:", err)
+		return 1
+	}
+
+	spec := loadgen.Spec{
+		Seed: *seed, Ops: *ops, Clients: *clients, Bits: *bits, Batch: *batch,
+		Keys: *keys, ZipfS: *zipf,
+		Arrival: *arrival, Rate: *rate, RampTo: *rampTo, BurstOn: *burstOn, BurstOff: *burstOff,
+	}
+	if err := parseMix(*mix, &spec); err != nil {
+		return fail(err)
+	}
+	if err := spec.Validate(); err != nil {
+		return fail(err)
+	}
+	asserts, err := loadgen.ParseSLO(*slo)
+	if err != nil {
+		return fail(err)
+	}
+
+	if *dump {
+		if err := spec.DumpOps(stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	// Assemble the target.
+	var (
+		tgt        loadgen.Target
+		targetName string
+		httpTgt    *loadgen.HTTPTarget
+	)
+	switch *target {
+	case "inproc":
+		front, err := mcf0.NewConcurrentF0(spec.Bits, mcf0.Algorithm(*algorithm),
+			mcf0.Config{Seed: *sketchSeed}, *replicas)
+		if err != nil {
+			return fail(err)
+		}
+		tgt = loadgen.NewInProc(front)
+		targetName = "inproc"
+	case "http":
+		if *url == "" {
+			return fail(fmt.Errorf("http target needs -url"))
+		}
+		httpTgt, err = loadgen.NewHTTPTarget(loadgen.HTTPConfig{
+			BaseURL: *url, Token: *token, Sketch: *sketch, Clients: spec.Clients,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if *create {
+			if err := httpTgt.CreateSketch(spec.Bits, *algorithm, *sketchSeed, *replicas); err != nil {
+				return fail(fmt.Errorf("creating sketch %q: %w", *sketch, err))
+			}
+		}
+		tgt = httpTgt
+		targetName = *url
+	default:
+		return fail(fmt.Errorf("unknown target %q (want inproc or http)", *target))
+	}
+
+	// Profile capture brackets the run only — setup and reporting stay
+	// out of the profiles.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+	}
+	rep, runErr := loadgen.Run(spec, tgt)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if runErr != nil {
+		return fail(runErr)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fail(err)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects steady state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		f.Close()
+		rep.MemProfile = *memProf
+	}
+	rep.Target = targetName
+	rep.Note = *note
+	rep.CPUProfile = *cpuProf
+
+	if *check {
+		ref, err := mcf0.NewF0(spec.Bits, mcf0.Algorithm(*algorithm), mcf0.Config{Seed: *sketchSeed})
+		if err != nil {
+			return fail(err)
+		}
+		ref.AddBatch(spec.IngestedElements())
+		if want := ref.Estimate(); rep.FinalEstimate != want {
+			return fail(fmt.Errorf("final estimate %v != serial replay estimate %v (determinism violation)",
+				rep.FinalEstimate, want))
+		}
+	}
+
+	if *del && httpTgt != nil {
+		if err := httpTgt.DeleteSketch(); err != nil {
+			fmt.Fprintln(stderr, "f0load: deleting sketch:", err)
+		}
+	}
+
+	buf, err := rep.MarshalIndented()
+	if err != nil {
+		return fail(err)
+	}
+	if *out == "-" {
+		stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return fail(err)
+	}
+
+	if violations := asserts.Check(rep); len(violations) > 0 {
+		fmt.Fprintln(stderr, "f0load: SLO violations:")
+		for _, v := range violations {
+			fmt.Fprintln(stderr, "  -", v)
+		}
+		return 2
+	}
+	return 0
+}
+
+// parseMix fills the spec's op-mix weights from "kind=weight" terms.
+func parseMix(s string, spec *loadgen.Spec) error {
+	if strings.TrimSpace(s) == "" {
+		return fmt.Errorf("empty -mix")
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return fmt.Errorf("-mix term %q is not kind=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w < 0 {
+			return fmt.Errorf("-mix weight %q is not a non-negative number", val)
+		}
+		switch strings.TrimSpace(key) {
+		case "ingest":
+			spec.IngestWeight = w
+		case "estimate":
+			spec.EstimateWeight = w
+		case "snapshot":
+			spec.SnapshotWeight = w
+		default:
+			return fmt.Errorf("-mix kind %q unknown (want ingest, estimate, snapshot)", key)
+		}
+	}
+	return nil
+}

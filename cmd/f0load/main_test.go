@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcf0/internal/loadgen"
+	"mcf0/internal/server"
+	"mcf0/internal/server/middleware"
+)
+
+// runCLI drives the full CLI in-process.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestInProcReportAndSLO: a tiny in-process run writes a parseable
+// report, passes an errors=0 SLO, and the -check replay holds.
+func TestInProcReportAndSLO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	code, _, stderr := runCLI(t,
+		"-target", "inproc", "-ops", "400", "-clients", "3", "-bits", "18",
+		"-batch", "32", "-mix", "ingest=85,estimate=14,snapshot=1",
+		"-zipf", "1.4", "-keys", "2000", "-seed", "9",
+		"-check", "-slo", "errors=0", "-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Target != "inproc" || rep.TotalOps != 400 || rep.TotalErrors != 0 {
+		t.Fatalf("report wrong: %+v", rep)
+	}
+	ing := rep.Kinds["ingest"]
+	if ing == nil || ing.Count == 0 || ing.P99Ns < ing.P50Ns || ing.MaxNs < ing.P999Ns {
+		t.Fatalf("ingest stats inconsistent: %+v", ing)
+	}
+}
+
+// TestSLOViolationExitsNonzero: an injected violation — a 1ns p50 no
+// real operation can meet — must exit 2 and name the violated bound.
+func TestSLOViolationExitsNonzero(t *testing.T) {
+	code, _, stderr := runCLI(t,
+		"-target", "inproc", "-ops", "50", "-clients", "2", "-bits", "16",
+		"-batch", "8", "-slo", "p50=1ns", "-out", filepath.Join(t.TempDir(), "r.json"))
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "SLO violations") || !strings.Contains(stderr, "p50") {
+		t.Fatalf("violation not reported: %s", stderr)
+	}
+}
+
+// TestDumpReplayable: -dump renders the transcript without running, and
+// equal flag sets dump byte-identical sequences.
+func TestDumpReplayable(t *testing.T) {
+	args := []string{"-ops", "40", "-batch", "4", "-bits", "12", "-seed", "77",
+		"-mix", "ingest=60,estimate=40", "-dump"}
+	_, a, _ := runCLI(t, args...)
+	_, b, _ := runCLI(t, args...)
+	if a == "" || a != b {
+		t.Fatal("dump not replayable")
+	}
+	if !strings.Contains(a, "ingest") || !strings.Contains(a, "estimate") {
+		t.Fatalf("dump missing op kinds: %.120s", a)
+	}
+	code, _, _ := runCLI(t, append(args, "-seed", "78")...)
+	if code != 0 {
+		t.Fatal("dump with different seed failed")
+	}
+}
+
+// TestHTTPTargetEndToEnd: the CLI drives a live f0d over HTTP — create,
+// mixed load, -check against the serial replay, delete — and the
+// report names the daemon URL.
+func TestHTTPTargetEndToEnd(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Tenants: []middleware.TenantConfig{{Name: "cli", Token: "cli-token"}},
+		DataDir: t.TempDir(),
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "http.json")
+	code, _, stderr := runCLI(t,
+		"-target", "http", "-url", ts.URL, "-token", "cli-token", "-sketch", "clirun",
+		"-ops", "200", "-clients", "4", "-bits", "18", "-batch", "24",
+		"-mix", "ingest=80,estimate=18,snapshot=2", "-seed", "13",
+		"-algorithm", "minimum", "-sketch-seed", "4242", "-replicas", "2",
+		"-check", "-delete", "-slo", "errors=0", "-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != ts.URL || rep.TotalErrors != 0 {
+		t.Fatalf("report wrong: target %q errors %d", rep.Target, rep.TotalErrors)
+	}
+}
+
+// TestProfileCapture: -cpuprofile/-memprofile write non-empty pprof
+// files and the report records their paths.
+func TestProfileCapture(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem, out := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof"), filepath.Join(dir, "r.json")
+	code, _, stderr := runCLI(t,
+		"-target", "inproc", "-ops", "300", "-clients", "2", "-bits", "16", "-batch", "64",
+		"-cpuprofile", cpu, "-memprofile", mem, "-out", out)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+	raw, _ := os.ReadFile(out)
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPUProfile != cpu || rep.MemProfile != mem {
+		t.Fatalf("profile paths not recorded: %+v", rep)
+	}
+}
+
+// TestUsageErrors: bad flags and specs exit 1 with a diagnostic.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-target", "carrier-pigeon"},
+		{"-target", "http"}, // no -url
+		{"-ops", "0"},
+		{"-mix", "teleport=1"},
+		{"-mix", ""},
+		{"-slo", "p98=1ms"},
+		{"-zipf", "0.3"},
+		{"-arrival", "constant"}, // no rate
+		{"-algorithm", "bogus"},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != 1 {
+			t.Errorf("args %v: exit %d (stderr %q), want 1", args, code, stderr)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTPTarget drives a live f0d daemon through the routes documented in
+// docs/API.md: POST /v1/sketches/{name}/add, GET …/estimate, POST
+// …/snapshot, with bearer-token auth. One instance is shared by all
+// workers; request bodies are built with pooled buffers so the
+// generator itself stays off the allocator's hot path.
+type HTTPTarget struct {
+	base   string // URL prefix up to /v1, no trailing slash
+	token  string
+	sketch string
+	client *http.Client
+	bufs   sync.Pool
+}
+
+// HTTPConfig parameterises an HTTP target.
+type HTTPConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Token is the tenant's bearer token.
+	Token string
+	// Sketch names the target sketch.
+	Sketch string
+	// Clients sizes the connection pool (≥ Spec.Clients keeps every
+	// worker on a persistent connection).
+	Clients int
+	// Timeout bounds one request (0 = 30s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests pass httptest clients);
+	// when set, Clients and Timeout are ignored.
+	Client *http.Client
+}
+
+// NewHTTPTarget builds an HTTP target; it performs no I/O until the
+// first op (use CreateSketch to ensure the sketch exists).
+func NewHTTPTarget(cfg HTTPConfig) (*HTTPTarget, error) {
+	if cfg.BaseURL == "" || cfg.Sketch == "" {
+		return nil, fmt.Errorf("loadgen: HTTP target needs a base URL and a sketch name")
+	}
+	client := cfg.Client
+	if client == nil {
+		conns := cfg.Clients
+		if conns < 2 {
+			conns = 2
+		}
+		timeout := cfg.Timeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		client = &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        conns,
+				MaxIdleConnsPerHost: conns,
+			},
+		}
+	}
+	return &HTTPTarget{
+		base:   strings.TrimRight(cfg.BaseURL, "/"),
+		token:  cfg.Token,
+		sketch: cfg.Sketch,
+		client: client,
+	}, nil
+}
+
+// apiError is the daemon's error envelope.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// do issues one request and fully drains the response (connection
+// reuse); non-2xx statuses decode the error envelope into the returned
+// error. When out is non-nil the response body is decoded into it.
+func (t *HTTPTarget) do(method, url string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if t.token != "" {
+		req.Header.Set("Authorization", "Bearer "+t.token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope apiError
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error.Code != "" {
+			return fmt.Errorf("loadgen: %s %s: %s (%s)", method, url, envelope.Error.Code, envelope.Error.Message)
+		}
+		return fmt.Errorf("loadgen: %s %s: HTTP %d", method, url, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("loadgen: %s %s: decoding response: %w", method, url, err)
+		}
+	}
+	return nil
+}
+
+// CreateSketch creates the target sketch (POST /v1/sketches) with the
+// given parameters; an already-existing sketch is an error, since its
+// seed/config may not match the workload's reference run.
+func (t *HTTPTarget) CreateSketch(bits int, algorithm string, seed uint64, replicas int) error {
+	req := map[string]any{"name": t.sketch, "bits": bits, "seed": strconv.FormatUint(seed, 10)}
+	if algorithm != "" {
+		req["algorithm"] = algorithm
+	}
+	if replicas > 0 {
+		req["replicas"] = replicas
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return t.do("POST", t.base+"/v1/sketches", body, nil)
+}
+
+// DeleteSketch removes the target sketch and its snapshots.
+func (t *HTTPTarget) DeleteSketch() error {
+	return t.do("DELETE", t.base+"/v1/sketches/"+t.sketch, nil, nil)
+}
+
+// ingestBody renders {"elements":[…]} without reflection; values above
+// 2^53 are emitted as decimal strings per the API's 64-bit convention,
+// so no JSON double ever rounds an element.
+func ingestBody(buf []byte, batch []uint64) []byte {
+	buf = append(buf, `{"elements":[`...)
+	for i, x := range batch {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		if x > 1<<53 {
+			buf = append(buf, '"')
+			buf = strconv.AppendUint(buf, x, 10)
+			buf = append(buf, '"')
+		} else {
+			buf = strconv.AppendUint(buf, x, 10)
+		}
+	}
+	return append(buf, `]}`...)
+}
+
+// Ingest posts one batch to the add endpoint.
+func (t *HTTPTarget) Ingest(batch []uint64) error {
+	b, _ := t.bufs.Get().(*[]byte)
+	if b == nil {
+		b = new([]byte)
+	}
+	*b = ingestBody((*b)[:0], batch)
+	err := t.do("POST", t.base+"/v1/sketches/"+t.sketch+"/add", *b, nil)
+	t.bufs.Put(b)
+	return err
+}
+
+// Estimate queries the estimate endpoint.
+func (t *HTTPTarget) Estimate() (float64, error) {
+	var out struct {
+		Estimate float64 `json:"estimate"`
+	}
+	if err := t.do("GET", t.base+"/v1/sketches/"+t.sketch+"/estimate", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.Estimate, nil
+}
+
+// Snapshot posts to the snapshot endpoint. Against a daemon running
+// without -data this fails with snapshots_disabled — visible in the
+// report's snapshot error count rather than swallowed.
+func (t *HTTPTarget) Snapshot() error {
+	return t.do("POST", t.base+"/v1/sketches/"+t.sketch+"/snapshot", nil, nil)
+}

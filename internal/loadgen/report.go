@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// KindStats summarizes one op kind's latency distribution. Latencies
+// are nanoseconds; percentiles are bucket upper bounds (≈3% resolution)
+// clamped to the observed extremes.
+type KindStats struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  uint64  `json:"p50_ns"`
+	P90Ns  uint64  `json:"p90_ns"`
+	P99Ns  uint64  `json:"p99_ns"`
+	P999Ns uint64  `json:"p999_ns"`
+	MaxNs  uint64  `json:"max_ns"`
+}
+
+// Report is one run's JSON document: the spec that replays it, the
+// sustained throughput, per-kind latency percentiles and error counts,
+// and the final estimate the replayed spec must reproduce.
+type Report struct {
+	// Note carries environment caveats (the CI runs append the nproc=1
+	// caveat here, the same way BENCH_6/7.json do).
+	Note string `json:"note,omitempty"`
+	// Target names what was driven ("inproc" or the daemon URL).
+	Target string `json:"target,omitempty"`
+	Spec   Spec   `json:"spec"`
+	// WallSeconds is the measured run length; OpsPerSec the sustained
+	// completed-op rate over it.
+	WallSeconds float64 `json:"wall_seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	TotalOps    uint64  `json:"total_ops"`
+	TotalErrors uint64  `json:"total_errors"`
+	// Kinds maps op kind → latency/error stats (kinds with no ops are
+	// omitted).
+	Kinds map[string]*KindStats `json:"kinds"`
+	// FinalEstimate is the target's estimate after the last op — the
+	// replay-determinism anchor (equal seeds must reproduce it exactly).
+	FinalEstimate      float64 `json:"final_estimate"`
+	FinalEstimateError string  `json:"final_estimate_error,omitempty"`
+	// Profiles records where pprof capture landed, when requested.
+	CPUProfile string `json:"cpu_profile,omitempty"`
+	MemProfile string `json:"mem_profile,omitempty"`
+}
+
+// MarshalIndented renders the report as indented JSON with a trailing
+// newline.
+func (r *Report) MarshalIndented() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// SLO is a parsed service-level-objective assertion set. Latency bounds
+// apply per op kind: an unscoped bound ("p99=5ms") must hold for every
+// kind that ran, a scoped one ("ingest.p99=2ms") only for its kind.
+type SLO struct {
+	// Latency bounds, nanoseconds: key "p50"/"p99"/"p999"/"max" or
+	// "<kind>.<percentile>".
+	Latency map[string]uint64
+	// MaxErrors bounds TotalErrors (-1 = unchecked).
+	MaxErrors int64
+	// MinOpsPerSec bounds sustained throughput from below (0 = unchecked).
+	MinOpsPerSec float64
+}
+
+// ParseSLO parses a comma-separated assertion list:
+//
+//	errors=0,p99=5ms,ingest.p999=20ms,min_ops_per_sec=1000
+//
+// Durations use Go syntax ("1500us", "5ms", "1s"); bare integers are
+// nanoseconds.
+func ParseSLO(s string) (*SLO, error) {
+	slo := &SLO{Latency: map[string]uint64{}, MaxErrors: -1}
+	if strings.TrimSpace(s) == "" {
+		return slo, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: SLO term %q is not key=value", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch {
+		case key == "errors":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("loadgen: SLO errors bound %q is not a non-negative integer", val)
+			}
+			slo.MaxErrors = n
+		case key == "min_ops_per_sec":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return nil, fmt.Errorf("loadgen: SLO min_ops_per_sec %q is not a positive number", val)
+			}
+			slo.MinOpsPerSec = f
+		default:
+			pct := key
+			if _, p, ok := strings.Cut(key, "."); ok {
+				pct = p
+			}
+			switch pct {
+			case "p50", "p90", "p99", "p999", "max":
+			default:
+				return nil, fmt.Errorf("loadgen: unknown SLO key %q (want errors, min_ops_per_sec, or [kind.]p50/p90/p99/p999/max)", key)
+			}
+			ns, err := parseLatency(val)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: SLO bound %s: %w", key, err)
+			}
+			slo.Latency[key] = ns
+		}
+	}
+	return slo, nil
+}
+
+// parseLatency accepts a Go duration or a bare nanosecond count.
+func parseLatency(s string) (uint64, error) {
+	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return n, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("%q is not a duration or nanosecond count", s)
+	}
+	return uint64(d), nil
+}
+
+// statNs extracts one percentile figure from a kind's stats.
+func statNs(ks *KindStats, pct string) uint64 {
+	switch pct {
+	case "p50":
+		return ks.P50Ns
+	case "p90":
+		return ks.P90Ns
+	case "p99":
+		return ks.P99Ns
+	case "p999":
+		return ks.P999Ns
+	case "max":
+		return ks.MaxNs
+	}
+	return 0
+}
+
+// Check evaluates the SLO against a report, returning one human-readable
+// violation per failed assertion (empty = all held).
+func (s *SLO) Check(rep *Report) []string {
+	var violations []string
+	if s.MaxErrors >= 0 && rep.TotalErrors > uint64(s.MaxErrors) {
+		violations = append(violations,
+			fmt.Sprintf("errors: %d > allowed %d", rep.TotalErrors, s.MaxErrors))
+	}
+	if s.MinOpsPerSec > 0 && rep.OpsPerSec < s.MinOpsPerSec {
+		violations = append(violations,
+			fmt.Sprintf("ops_per_sec: %.2f < required %.2f", rep.OpsPerSec, s.MinOpsPerSec))
+	}
+	// Deterministic violation order: sort the bound keys.
+	keys := make([]string, 0, len(s.Latency))
+	for k := range s.Latency {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		bound := s.Latency[key]
+		kind, pct, scoped := strings.Cut(key, ".")
+		if !scoped {
+			pct = key
+			for _, name := range []string{"ingest", "estimate", "snapshot"} {
+				ks := rep.Kinds[name]
+				if ks == nil || ks.Count == 0 {
+					continue
+				}
+				if got := statNs(ks, pct); got > bound {
+					violations = append(violations,
+						fmt.Sprintf("%s.%s: %s > bound %s", name, pct,
+							time.Duration(got), time.Duration(bound)))
+				}
+			}
+			continue
+		}
+		ks := rep.Kinds[kind]
+		if ks == nil || ks.Count == 0 {
+			continue
+		}
+		if got := statNs(ks, pct); got > bound {
+			violations = append(violations,
+				fmt.Sprintf("%s.%s: %s > bound %s", kind, pct,
+					time.Duration(got), time.Duration(bound)))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Run executes the spec against the target with Spec.Clients concurrent
+// workers and returns the measured report. Workers claim op indices
+// from one atomic counter, so every op runs exactly once regardless of
+// scheduling; op content is a pure function of (spec, index), so the
+// ingested element set — and therefore the target's final estimate —
+// is identical across runs and client counts.
+func Run(spec Spec, target Target) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	type workerStats struct {
+		hists [numOpKinds]Histogram
+		errs  [numOpKinds]uint64
+	}
+	stats := make([]workerStats, spec.Clients)
+
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Clients; w++ {
+		wg.Add(1)
+		go func(ws *workerStats) {
+			defer wg.Done()
+			var scratch []uint64
+			paced := spec.Arrival != "" && spec.Arrival != "open"
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= spec.Ops {
+					return
+				}
+				if paced {
+					at := start.Add(time.Duration(spec.scheduledAt(i) * float64(time.Second)))
+					if d := time.Until(at); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				kind := spec.Kind(i)
+				var err error
+				var t0 time.Time
+				switch kind {
+				case OpIngest:
+					scratch = spec.Elements(i, scratch)
+					t0 = time.Now()
+					err = target.Ingest(scratch)
+				case OpEstimate:
+					t0 = time.Now()
+					_, err = target.Estimate()
+				case OpSnapshot:
+					t0 = time.Now()
+					err = target.Snapshot()
+				}
+				ws.hists[kind].RecordDuration(time.Since(t0))
+				if err != nil {
+					ws.errs[kind]++
+				}
+			}
+		}(&stats[w])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Merge per-worker histograms and error counts.
+	var merged [numOpKinds]Histogram
+	var errs [numOpKinds]uint64
+	for w := range stats {
+		for k := OpKind(0); k < numOpKinds; k++ {
+			merged[k].Merge(&stats[w].hists[k])
+			errs[k] += stats[w].errs[k]
+		}
+	}
+
+	rep := &Report{
+		Spec:        spec,
+		WallSeconds: wall.Seconds(),
+		Kinds:       make(map[string]*KindStats, numOpKinds),
+	}
+	if wall > 0 {
+		rep.OpsPerSec = round2(float64(spec.Ops) / wall.Seconds())
+	}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		h := &merged[k]
+		rep.TotalOps += h.Count()
+		rep.TotalErrors += errs[k]
+		if h.Count() == 0 && errs[k] == 0 {
+			continue
+		}
+		rep.Kinds[k.String()] = &KindStats{
+			Count:  h.Count(),
+			Errors: errs[k],
+			MeanNs: round2(h.Mean()),
+			P50Ns:  h.Quantile(0.50),
+			P90Ns:  h.Quantile(0.90),
+			P99Ns:  h.Quantile(0.99),
+			P999Ns: h.Quantile(0.999),
+			MaxNs:  h.Max(),
+		}
+	}
+
+	// The closing estimate (uncounted): the replayable figure invariant 7
+	// judges against a reference run.
+	if est, err := target.Estimate(); err == nil {
+		rep.FinalEstimate = est
+	} else {
+		rep.FinalEstimateError = err.Error()
+	}
+	return rep, nil
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		OpsPerSec:   1500,
+		TotalOps:    1000,
+		TotalErrors: 3,
+		Kinds: map[string]*KindStats{
+			"ingest":   {Count: 900, Errors: 3, P50Ns: 1e6, P90Ns: 2e6, P99Ns: 5e6, P999Ns: 2e7, MaxNs: 3e7},
+			"estimate": {Count: 100, P50Ns: 1e4, P90Ns: 2e4, P99Ns: 1e5, P999Ns: 2e5, MaxNs: 2e5},
+		},
+	}
+}
+
+func TestParseSLO(t *testing.T) {
+	slo, err := ParseSLO("errors=0, p99=5ms, ingest.p999=20ms, min_ops_per_sec=1000, max=50000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.MaxErrors != 0 || slo.MinOpsPerSec != 1000 {
+		t.Fatalf("scalar bounds wrong: %+v", slo)
+	}
+	if slo.Latency["p99"] != 5e6 || slo.Latency["ingest.p999"] != 2e7 || slo.Latency["max"] != 5e7 {
+		t.Fatalf("latency bounds wrong: %v", slo.Latency)
+	}
+	// Bare integers are nanoseconds.
+	slo, err = ParseSLO("p50=12345")
+	if err != nil || slo.Latency["p50"] != 12345 {
+		t.Fatalf("bare-ns parse: %v %v", slo, err)
+	}
+	// Empty SLO asserts nothing.
+	slo, err = ParseSLO("  ")
+	if err != nil || len(slo.Latency) != 0 || slo.MaxErrors != -1 || slo.MinOpsPerSec != 0 {
+		t.Fatalf("empty SLO not neutral: %+v %v", slo, err)
+	}
+	for _, bad := range []string{"p99", "p98=1ms", "errors=-1", "errors=x", "p99=zz",
+		"min_ops_per_sec=0", "ingest.p98=1ms", "=5ms"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	rep := sampleReport()
+	cases := []struct {
+		slo       string
+		violation string // substring of the expected violation; "" = pass
+	}{
+		{"errors=3", ""},
+		{"errors=2", "errors: 3 > allowed 2"},
+		{"min_ops_per_sec=1000", ""},
+		{"min_ops_per_sec=2000", "ops_per_sec"},
+		{"p99=5ms", ""},                      // both kinds at or under 5ms p99
+		{"p99=4ms", "ingest.p99"},            // unscoped bound catches the worst kind
+		{"estimate.p99=4ms", ""},             // scoped bound checks only its kind
+		{"ingest.p999=19ms", "ingest.p999"},  // scoped violation
+		{"snapshot.p99=1ns", ""},             // kind that never ran: vacuously true
+		{"max=30ms", ""},                     // exact max at the bound passes
+		{"max=29ms", "ingest.max"},           // just under trips
+		{"errors=0,p99=1ns", "estimate.p99"}, // multiple violations reported
+	}
+	for _, tc := range cases {
+		slo, err := ParseSLO(tc.slo)
+		if err != nil {
+			t.Fatalf("ParseSLO(%q): %v", tc.slo, err)
+		}
+		violations := slo.Check(rep)
+		if tc.violation == "" {
+			if len(violations) != 0 {
+				t.Errorf("SLO %q: unexpected violations %v", tc.slo, violations)
+			}
+			continue
+		}
+		found := false
+		for _, v := range violations {
+			if strings.Contains(v, tc.violation) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("SLO %q: violations %v missing %q", tc.slo, violations, tc.violation)
+		}
+	}
+	// The multi-violation case reports every failed assertion.
+	slo, _ := ParseSLO("errors=0,p99=1ns")
+	if got := slo.Check(rep); len(got) != 3 { // errors + 2 kinds' p99
+		t.Fatalf("want 3 violations, got %v", got)
+	}
+}

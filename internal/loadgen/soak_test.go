@@ -1,0 +1,134 @@
+package loadgen_test
+
+import (
+	"testing"
+
+	"mcf0"
+	"mcf0/internal/loadgen"
+	"mcf0/internal/server"
+	"mcf0/internal/server/middleware"
+
+	"net/http/httptest"
+)
+
+// TestSoakHTTPDeterminism is the loadgen-powered soak test: a short
+// seeded mixed workload (multi-writer ingest, concurrent estimates,
+// snapshots to a real data directory) drives an httptest-hosted f0d,
+// and at the end the HTTP estimate must still equal an in-process
+// serial sketch over the same generated stream — invariant 7 holding
+// under concurrent mixed load, race-checked by the CI -race step.
+func TestSoakHTTPDeterminism(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Tenants: []middleware.TenantConfig{{Name: "soak", Token: "soak-token"}},
+		DataDir: t.TempDir(),
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := loadgen.Spec{
+		Seed: 20210401, Ops: 300, Clients: 6, Bits: 20, Batch: 48,
+		IngestWeight: 85, EstimateWeight: 13, SnapshotWeight: 2,
+		Keys: 3000, ZipfS: 1.2,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	const sketchSeed = 4242
+	target, err := loadgen.NewHTTPTarget(loadgen.HTTPConfig{
+		BaseURL: ts.URL, Token: "soak-token", Sketch: "soak",
+		Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.CreateSketch(spec.Bits, "minimum", sketchSeed, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := loadgen.Run(spec, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps != uint64(spec.Ops) {
+		t.Fatalf("ran %d ops, want %d", rep.TotalOps, spec.Ops)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("%d errors under soak: %+v", rep.TotalErrors, rep.Kinds)
+	}
+	if rep.Kinds["ingest"] == nil || rep.Kinds["estimate"] == nil || rep.Kinds["snapshot"] == nil {
+		t.Fatalf("mixed workload missing a kind: %v", rep.Kinds)
+	}
+
+	// Invariant 7: the served estimate equals the in-process estimate
+	// over the union stream, bit-identically, after all the interleaved
+	// writers, readers, and snapshots.
+	ref, err := mcf0.NewF0(spec.Bits, mcf0.AlgorithmMinimum, mcf0.Config{Seed: sketchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.AddBatch(spec.IngestedElements())
+	if want := ref.Estimate(); rep.FinalEstimate != want {
+		t.Fatalf("HTTP estimate after soak %v != in-process estimate %v", rep.FinalEstimate, want)
+	}
+
+	// The delete path leaves the tenant clean for quota accounting.
+	if err := target.DeleteSketch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoakSnapshotsDisabled: against a daemon without -data, snapshot
+// ops surface as counted errors (never hidden, never a run failure).
+func TestSoakSnapshotsDisabled(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Tenants: []middleware.TenantConfig{{Name: "soak", Token: "soak-token"}},
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := loadgen.Spec{
+		Seed: 5, Ops: 60, Clients: 3, Bits: 16, Batch: 16,
+		IngestWeight: 50, SnapshotWeight: 50,
+	}
+	target, err := loadgen.NewHTTPTarget(loadgen.HTTPConfig{
+		BaseURL: ts.URL, Token: "soak-token", Sketch: "nosnap", Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.CreateSketch(spec.Bits, "", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Run(spec, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Kinds["snapshot"]
+	if snap == nil || snap.Count == 0 {
+		t.Fatal("no snapshot ops ran")
+	}
+	if snap.Errors != snap.Count {
+		t.Fatalf("snapshots_disabled: %d/%d snapshot ops errored, want all", snap.Errors, snap.Count)
+	}
+	if ing := rep.Kinds["ingest"]; ing == nil || ing.Errors != 0 {
+		t.Fatalf("ingest should stay clean: %+v", ing)
+	}
+	// An errors=0 SLO trips on exactly this — the injected-violation
+	// check CI exercises end-to-end through cmd/f0load.
+	slo, err := loadgen.ParseSLO("errors=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := slo.Check(rep); len(v) == 0 {
+		t.Fatal("errors=0 SLO failed to trip on snapshot errors")
+	}
+}

@@ -1,0 +1,243 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+
+	"mcf0"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Seed: 7, Ops: 600, Clients: 4, Bits: 22, Batch: 32,
+		IngestWeight: 80, EstimateWeight: 18, SnapshotWeight: 2,
+		Keys: 5000, ZipfS: 1.3,
+	}
+}
+
+// TestReplayDeterminism is determinism invariant 8: equal specs render
+// byte-identical workload transcripts, and two full runs — at different
+// client counts — leave the target with bit-identical final estimates
+// (the generated element set does not depend on scheduling).
+func TestReplayDeterminism(t *testing.T) {
+	spec := testSpec()
+	var a, b bytes.Buffer
+	if err := spec.DumpOps(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.DumpOps(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two dumps of one spec differ")
+	}
+
+	run := func(clients, replicas int) float64 {
+		s := spec
+		s.Clients = clients
+		front, err := mcf0.NewConcurrentF0(s.Bits, mcf0.AlgorithmBucketing, mcf0.Config{Seed: 99}, replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(s, NewInProc(front))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalOps != uint64(s.Ops) {
+			t.Fatalf("ran %d ops, want %d", rep.TotalOps, s.Ops)
+		}
+		if rep.TotalErrors != 0 {
+			t.Fatalf("%d errors against in-process front", rep.TotalErrors)
+		}
+		return rep.FinalEstimate
+	}
+	first := run(1, 1)
+	for _, c := range []struct{ clients, replicas int }{{2, 2}, {4, 3}, {8, 1}} {
+		if got := run(c.clients, c.replicas); got != first {
+			t.Fatalf("clients=%d replicas=%d estimate %v != clients=1 estimate %v",
+				c.clients, c.replicas, got, first)
+		}
+	}
+
+	// And the runs match a serial reference sketch over the extracted
+	// ingest stream — the anchor -check and the soak test reuse.
+	ref, err := mcf0.NewF0(spec.Bits, mcf0.AlgorithmBucketing, mcf0.Config{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.AddBatch(spec.IngestedElements())
+	if want := ref.Estimate(); first != want {
+		t.Fatalf("loadgen estimate %v != serial reference %v", first, want)
+	}
+}
+
+// TestSpecSensitivity: changing any generation parameter must change
+// the transcript (otherwise a flag silently does nothing).
+func TestSpecSensitivity(t *testing.T) {
+	base := testSpec()
+	dump := func(s Spec) []byte {
+		var buf bytes.Buffer
+		if err := s.DumpOps(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := dump(base)
+	mutations := map[string]func(*Spec){
+		"seed":  func(s *Spec) { s.Seed++ },
+		"batch": func(s *Spec) { s.Batch++ },
+		"bits":  func(s *Spec) { s.Bits-- },
+		"zipf":  func(s *Spec) { s.ZipfS = 0 },
+		"keys":  func(s *Spec) { s.Keys = 50 },
+		"mix":   func(s *Spec) { s.IngestWeight = 10 },
+	}
+	for name, mutate := range mutations {
+		s := base
+		mutate(&s)
+		if bytes.Equal(dump(s), ref) {
+			t.Errorf("mutating %s left the transcript unchanged", name)
+		}
+	}
+}
+
+// TestElementsInUniverse: generated elements respect the universe bound
+// for widths straddling the word boundary.
+func TestElementsInUniverse(t *testing.T) {
+	for _, bits := range []int{1, 7, 53, 63, 64} {
+		s := Spec{Seed: 3, Ops: 50, Clients: 1, Bits: bits, Batch: 64,
+			IngestWeight: 1, ZipfS: 1.5}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		var limitOK func(x uint64) bool
+		if bits == 64 {
+			limitOK = func(uint64) bool { return true }
+		} else {
+			limit := uint64(1) << uint(bits)
+			limitOK = func(x uint64) bool { return x < limit }
+		}
+		var scratch []uint64
+		for i := 0; i < s.Ops; i++ {
+			scratch = s.Elements(i, scratch)
+			if len(scratch) != s.Batch {
+				t.Fatalf("bits=%d: batch length %d", bits, len(scratch))
+			}
+			for _, x := range scratch {
+				if !limitOK(x) {
+					t.Fatalf("bits=%d: element %d out of universe", bits, x)
+				}
+			}
+		}
+	}
+}
+
+// TestKindMix: over many ops the realized kind frequencies track the
+// weights (loose band — the draw is pseudo-random, not stratified).
+func TestKindMix(t *testing.T) {
+	s := Spec{Seed: 11, Ops: 20000, Clients: 1, Bits: 16, Batch: 8,
+		IngestWeight: 70, EstimateWeight: 25, SnapshotWeight: 5}
+	var counts [numOpKinds]int
+	for i := 0; i < s.Ops; i++ {
+		counts[s.Kind(i)]++
+	}
+	total := float64(s.Ops)
+	for k, want := range map[OpKind]float64{OpIngest: 0.70, OpEstimate: 0.25, OpSnapshot: 0.05} {
+		got := float64(counts[k]) / total
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("kind %s frequency %.3f, want ≈%.2f", k, got, want)
+		}
+	}
+	// Zero-weight kinds never fire.
+	s2 := s
+	s2.SnapshotWeight = 0
+	for i := 0; i < s2.Ops; i++ {
+		if s2.Kind(i) == OpSnapshot {
+			t.Fatal("zero-weight snapshot op generated")
+		}
+	}
+}
+
+// TestArrivalSchedules: scheduled times are non-negative and monotone
+// for every pacing pattern, bursts leave silence gaps, and ramps finish
+// near the analytic total duration.
+func TestArrivalSchedules(t *testing.T) {
+	check := func(s Spec) []float64 {
+		t.Helper()
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		times := make([]float64, s.Ops)
+		for i := range times {
+			times[i] = s.scheduledAt(i)
+			if times[i] < 0 {
+				t.Fatalf("scheduledAt(%d) negative", i)
+			}
+			if i > 0 && times[i] < times[i-1] {
+				t.Fatalf("schedule not monotone at %d", i)
+			}
+		}
+		return times
+	}
+	base := Spec{Seed: 1, Ops: 1000, Clients: 2, Bits: 16, Batch: 4, IngestWeight: 1}
+
+	open := base
+	for _, at := range check(open) {
+		if at != 0 {
+			t.Fatal("open loop must not pace")
+		}
+	}
+
+	constant := base
+	constant.Arrival, constant.Rate = "constant", 500
+	times := check(constant)
+	if got := times[999]; got < 1.95 || got > 2.05 {
+		t.Fatalf("constant 500/s: op 999 at %.3fs, want ≈2s", got)
+	}
+
+	burst := base
+	burst.Arrival, burst.Rate, burst.BurstOn, burst.BurstOff = "burst", 500, 1, 1
+	times = check(burst)
+	// 500 ops land in burst 0 ([0,1)), the rest start at 2s.
+	if times[499] >= 1 || times[500] < 2 {
+		t.Fatalf("burst boundary wrong: op499=%.3f op500=%.3f", times[499], times[500])
+	}
+
+	ramp := base
+	ramp.Arrival, ramp.Rate, ramp.RampTo = "ramp", 100, 900
+	times = check(ramp)
+	// T = 2·Ops/(R0+R1) = 2s; early ops are sparse, late ops dense.
+	if got := times[999]; got < 1.9 || got > 2.1 {
+		t.Fatalf("ramp: last op at %.3fs, want ≈2s", got)
+	}
+	if first := times[100] - times[0]; first <= times[999]-times[899] {
+		t.Fatal("ramp did not accelerate")
+	}
+}
+
+// TestSpecValidate sweeps the rejection paths.
+func TestSpecValidate(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Ops = 0 },
+		func(s *Spec) { s.Clients = 0 },
+		func(s *Spec) { s.Bits = 0 },
+		func(s *Spec) { s.Bits = 65 },
+		func(s *Spec) { s.Batch = 0 },
+		func(s *Spec) { s.IngestWeight, s.EstimateWeight, s.SnapshotWeight = 0, 0, 0 },
+		func(s *Spec) { s.IngestWeight = -1 },
+		func(s *Spec) { s.ZipfS = 0.5 },
+		func(s *Spec) { s.Arrival = "warp" },
+		func(s *Spec) { s.Arrival = "constant" },
+		func(s *Spec) { s.Arrival, s.Rate, s.RampTo = "ramp", 10, 0 },
+	}
+	for i, mutate := range bad {
+		s := testSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	good := testSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline spec rejected: %v", err)
+	}
+}

@@ -329,7 +329,7 @@ func (r *Reader) Words() []uint64 {
 	if r.err != nil {
 		return nil
 	}
-	if n*8 > uint64(r.Remaining()) {
+	if n > uint64(r.Remaining())/8 { // division, not n*8: huge counts must not wrap
 		r.fail(ErrTruncated)
 		return nil
 	}

@@ -99,18 +99,31 @@ func main() {
 	note := flag.String("note", "", "environment caveat appended to the output note")
 	flag.Parse()
 
+	buf, err := buildReport(baselines, currents, *note)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// buildReport parses the transcript files and renders the BENCH_<k>.json
+// document: one entry per benchmark, sorted by name, with derived ratios
+// where both runs are present.
+func buildReport(baselines, currents []string, note string) ([]byte, error) {
 	base := map[string]*Metrics{}
 	cur := map[string]*Metrics{}
 	for _, p := range baselines {
 		if err := parseFile(p, base); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			return nil, err
 		}
 	}
 	for _, p := range currents {
 		if err := parseFile(p, cur); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			return nil, err
 		}
 	}
 
@@ -164,19 +177,14 @@ func main() {
 		Note:       "ns/op, B/op, allocs/op from `go test -bench -benchmem`; baseline = pre-change tree, current = this PR. Regenerate with scripts/bench.sh.",
 		Benchmarks: ordered,
 	}
-	if *note != "" {
-		doc.Note += " " + *note
+	if note != "" {
+		doc.Note += " " + note
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return nil, err
 	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
+	return append(buf, '\n'), nil
 }
 
 func round2(x float64) float64 {

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the full f0load sweep from docs/OPERATIONS.md: a profiled
+# in-process run (CPU + allocation pprof) and an HTTP run against a
+# self-hosted f0d, both seeded and -check-verified, with reports and
+# profiles left in $LOAD_DIR for inspection or artifact upload. The SLO
+# asserted here is errors=0 only — latency bounds on shared CI runners
+# are noise; run interactively with e.g. `-slo p99=5ms` on quiet
+# hardware to gate on latency.
+#
+# Usage: scripts/load.sh [ops] (default 50000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OPS=${1:-50000}
+LOAD_DIR=${LOAD_DIR:-$(mktemp -d)}
+mkdir -p "$LOAD_DIR"
+
+NOTE=""
+if [ "$(nproc 2>/dev/null || echo 1)" = 1 ]; then
+  NOTE="CAVEAT: captured on a single-core machine (nproc=1) — clients time-slice one core, so ops/sec understates multi-core throughput and tail latencies include scheduler queueing; rerun on multi-core hardware for service-level numbers."
+fi
+
+go build -o "$LOAD_DIR/f0load" ./cmd/f0load
+go build -o "$LOAD_DIR/f0d" ./cmd/f0d
+
+# In-process run: the sketch front with no HTTP in the way, profiled.
+"$LOAD_DIR/f0load" -target inproc -ops "$OPS" -clients 8 -bits 24 -batch 128 \
+  -mix ingest=90,estimate=9,snapshot=1 -keys 100000 -zipf 1.2 -seed 20210608 \
+  -check -slo errors=0 -note "$NOTE" \
+  -cpuprofile "$LOAD_DIR/inproc_cpu.pprof" -memprofile "$LOAD_DIR/inproc_mem.pprof" \
+  -out "$LOAD_DIR/LOAD_inproc.json"
+
+# HTTP run: the same workload through a live f0d (loopback socket), so
+# the report reflects the full serve path: auth, JSON, handler, front.
+"$LOAD_DIR/f0d" -addr 127.0.0.1:18090 -token load:load-token &
+F0D_PID=$!
+trap 'kill "$F0D_PID" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+  curl -sf http://127.0.0.1:18090/healthz >/dev/null && break
+  sleep 0.2
+done
+
+"$LOAD_DIR/f0load" -target http -url http://127.0.0.1:18090 -token load-token \
+  -sketch loadsh -ops "$OPS" -clients 8 -bits 24 -batch 128 \
+  -mix ingest=90,estimate=9,snapshot=0 -keys 100000 -zipf 1.2 -seed 20210608 \
+  -check -delete -slo errors=0 -note "$NOTE" \
+  -out "$LOAD_DIR/LOAD_http.json"
+
+kill -TERM "$F0D_PID"
+wait "$F0D_PID"
+trap - EXIT
+
+echo "wrote $LOAD_DIR/LOAD_inproc.json and $LOAD_DIR/LOAD_http.json (profiles alongside)"
