@@ -15,6 +15,22 @@
 //	-max-batch int     max elements per ingest request (default 65536)
 //	-max-body bytes    max request body size (default 8 MiB)
 //
+// Resilience knobs (all durations accept Go syntax like "30s"; 0 keeps
+// the default, negative disables where noted):
+//
+//	-read-header-timeout   http.Server.ReadHeaderTimeout (default 5s)
+//	-read-timeout          http.Server.ReadTimeout (default 60s)
+//	-write-timeout         http.Server.WriteTimeout (default 60s)
+//	-idle-timeout          http.Server.IdleTimeout (default 120s)
+//	-max-header-bytes      request header cap (default 1 MiB)
+//	-request-timeout       per-request context deadline (default off)
+//	-max-inflight          in-flight request cap; excess sheds 503
+//	                       (default 0 = unlimited)
+//	-drain-timeout         graceful-shutdown drain bound (default 10s)
+//	-breaker-failures      consecutive snapshot disk failures that open
+//	                       the circuit breaker (default 3)
+//	-breaker-cooldown      open → half-open probe delay (default 10s)
+//
 // The daemon refuses to start without at least one tenant — there is no
 // unauthenticated mode. On SIGINT/SIGTERM it drains in-flight requests,
 // snapshots every dirty sketch to -data, and exits 0; a subsequent start
@@ -46,6 +62,17 @@ func main() {
 		dataDir  = flag.String("data", "", "snapshot directory (enables snapshot/restore; empty disables)")
 		maxBatch = flag.Int("max-batch", 0, "max elements per ingest request (0 = 65536)")
 		maxBody  = flag.Int64("max-body", 0, "max request body bytes (0 = 8 MiB)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 0, "HTTP header read timeout (0 = 5s, negative disables)")
+		readTimeout       = flag.Duration("read-timeout", 0, "full-request read timeout (0 = 60s, negative disables)")
+		writeTimeout      = flag.Duration("write-timeout", 0, "response write timeout (0 = 60s, negative disables)")
+		idleTimeout       = flag.Duration("idle-timeout", 0, "keep-alive idle timeout (0 = 120s, negative disables)")
+		maxHeaderBytes    = flag.Int("max-header-bytes", 0, "max request header bytes (0 = 1 MiB)")
+		requestTimeout    = flag.Duration("request-timeout", 0, "per-request context deadline (0 = off)")
+		maxInFlight       = flag.Int("max-inflight", 0, "in-flight request cap, excess sheds 503 (0 = unlimited)")
+		drainTimeout      = flag.Duration("drain-timeout", 0, "graceful-shutdown drain bound (0 = 10s)")
+		breakerFailures   = flag.Int("breaker-failures", 0, "consecutive snapshot disk failures opening the breaker (0 = 3)")
+		breakerCooldown   = flag.Duration("breaker-cooldown", 0, "breaker open-to-probe cooldown (0 = 10s)")
 	)
 	flag.Parse()
 
@@ -73,6 +100,17 @@ func main() {
 		DataDir:      *dataDir,
 		MaxBatch:     *maxBatch,
 		MaxBodyBytes: *maxBody,
+
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+		RequestTimeout:    *requestTimeout,
+		MaxInFlight:       *maxInFlight,
+		DrainTimeout:      *drainTimeout,
+		BreakerFailures:   *breakerFailures,
+		BreakerCooldown:   *breakerCooldown,
 	})
 	if err != nil {
 		fatal(err)

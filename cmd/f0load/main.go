@@ -39,6 +39,17 @@
 //	-create          create the sketch before the run (default true)
 //	-delete          delete the sketch after the run (default false)
 //
+// Chaos and retries (http target; see internal/faultinject):
+//
+//	-chaos SPEC      seeded fault injection on the HTTP transport, e.g.
+//	                 seed=7,latency=0.05,max-latency=2ms,reset=0.05,
+//	                 truncate=0.03,corrupt=0.03 — rates are per round
+//	                 trip; the report gains a faults_injected tally
+//	-retries N       per-op retry budget with seeded exponential
+//	                 backoff-with-jitter (default 0 = single-shot)
+//	-retry-base D    first backoff ceiling, doubling per attempt
+//	                 (default 5ms)
+//
 // Output and assertions:
 //
 //	-out PATH        report path (default "-" = stdout)
@@ -59,13 +70,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"mcf0"
+	"mcf0/internal/faultinject"
 	"mcf0/internal/loadgen"
 )
 
@@ -102,6 +116,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sketch     = fs.String("sketch", "f0load", "sketch name (http target)")
 		create     = fs.Bool("create", true, "create the sketch before the run (http target)")
 		del        = fs.Bool("delete", false, "delete the sketch after the run (http target)")
+
+		chaosSpec = fs.String("chaos", "", `fault-injection spec wrapping the HTTP transport, e.g. "seed=7,latency=0.05,reset=0.05,truncate=0.03,corrupt=0.03"`)
+		retries   = fs.Int("retries", 0, "retry budget per op with seeded backoff-with-jitter (http target)")
+		retryBase = fs.Duration("retry-base", 0, "first backoff ceiling, doubling per attempt (0 = 5ms)")
 
 		out     = fs.String("out", "-", `report path ("-" = stdout)`)
 		note    = fs.String("note", "", "environment caveat recorded in the report")
@@ -147,6 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tgt        loadgen.Target
 		targetName string
 		httpTgt    *loadgen.HTTPTarget
+		chaos      *faultinject.Chaos
 	)
 	switch *target {
 	case "inproc":
@@ -161,9 +180,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *url == "" {
 			return fail(fmt.Errorf("http target needs -url"))
 		}
-		httpTgt, err = loadgen.NewHTTPTarget(loadgen.HTTPConfig{
+		cfg := loadgen.HTTPConfig{
 			BaseURL: *url, Token: *token, Sketch: *sketch, Clients: spec.Clients,
-		})
+			Retry: loadgen.RetryPolicy{Max: *retries, Base: *retryBase, Seed: *seed},
+		}
+		if *chaosSpec != "" {
+			chaosCfg, err := faultinject.ParseSpec(*chaosSpec)
+			if err != nil {
+				return fail(err)
+			}
+			chaos, err = faultinject.New(chaosCfg)
+			if err != nil {
+				return fail(err)
+			}
+			// The chaos transport wraps the same pooled transport the
+			// default client would use, so only the faults change.
+			conns := spec.Clients
+			if conns < 2 {
+				conns = 2
+			}
+			cfg.Client = &http.Client{
+				Timeout: 30 * time.Second,
+				Transport: chaos.RoundTripper(&http.Transport{
+					MaxIdleConns:        conns,
+					MaxIdleConnsPerHost: conns,
+				}),
+			}
+		}
+		httpTgt, err = loadgen.NewHTTPTarget(cfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -213,6 +257,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep.Target = targetName
 	rep.Note = *note
 	rep.CPUProfile = *cpuProf
+	if chaos != nil {
+		rep.FaultsInjected = chaos.Injected()
+	}
+	if httpTgt != nil {
+		rep.Retries = httpTgt.Retries()
+	}
 
 	if *check {
 		ref, err := mcf0.NewF0(spec.Bits, mcf0.Algorithm(*algorithm), mcf0.Config{Seed: *sketchSeed})

@@ -122,6 +122,70 @@ func TestHTTPTargetEndToEnd(t *testing.T) {
 	}
 }
 
+// TestChaosEndToEnd: the CLI's -chaos/-retries flags drive a seeded
+// fault-injected run whose -check differential still holds (invariant
+// 9) and whose report tallies the injected faults and retries.
+func TestChaosEndToEnd(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Tenants: []middleware.TenantConfig{{Name: "cli", Token: "cli-token"}},
+		DataDir: t.TempDir(),
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	code, _, stderr := runCLI(t,
+		"-target", "http", "-url", ts.URL, "-token", "cli-token", "-sketch", "chaosrun",
+		"-ops", "200", "-clients", "4", "-bits", "18", "-batch", "24",
+		"-mix", "ingest=85,estimate=13,snapshot=2", "-seed", "13",
+		"-algorithm", "minimum", "-sketch-seed", "4242", "-replicas", "2",
+		"-chaos", "seed=7,latency=0.04,max-latency=500us,reset=0.06,truncate=0.04,corrupt=0.04",
+		"-retries", "16", "-retry-base", "200us",
+		"-check", "-slo", "errors=0", "-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("%d errors surfaced despite retries", rep.TotalErrors)
+	}
+	total := uint64(0)
+	for _, n := range rep.FaultsInjected {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("report tallies no injected faults under ~18% chaos")
+	}
+	if rep.Retries == 0 {
+		t.Fatal("report tallies no retries despite injected faults")
+	}
+}
+
+// TestChaosSpecRejected: a malformed -chaos spec is a usage error, not a
+// silent fault-free run.
+func TestChaosSpecRejected(t *testing.T) {
+	code, _, stderr := runCLI(t,
+		"-target", "http", "-url", "http://127.0.0.1:1", "-token", "x",
+		"-chaos", "reset=1.5", "-create=false", "-ops", "1")
+	if code != 1 {
+		t.Fatalf("exit %d for out-of-range chaos rate, want 1 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "reset") {
+		t.Fatalf("error does not name the bad key: %q", stderr)
+	}
+}
+
 // TestProfileCapture: -cpuprofile/-memprofile write non-empty pprof
 // files and the report records their paths.
 func TestProfileCapture(t *testing.T) {

@@ -1,0 +1,101 @@
+// Resilient snapshot shipping: SketchAndShip over a lossy transport.
+// Sites re-send their snapshot blob until the coordinator holds a copy
+// that decode-verifies, and every attempt — including the failed ones —
+// is metered, so the communication cost of unreliability is visible
+// instead of idealised away. Because each site's sketch is a pure
+// function of its partition and the shared seed, a re-sent or even
+// duplicated snapshot carries the identical state: delivery retries can
+// never move the coordinator's estimate (ARCHITECTURE.md invariant 9).
+package distributed
+
+import (
+	"fmt"
+
+	"mcf0/internal/formula"
+	"mcf0/internal/setstream"
+	"mcf0/internal/stats"
+)
+
+// ShipTransport delivers one site's encoded snapshot to the coordinator
+// and returns the bytes as received there; attempt counts deliveries of
+// this site's blob (0 = first try). A transport models faults by
+// returning an error (connection lost), or by returning a mangled blob —
+// the coordinator decode-verifies every delivery and treats both the
+// same: retry.
+type ShipTransport func(site, attempt int, blob []byte) ([]byte, error)
+
+// SketchAndShipResilient is SketchAndShip with per-site delivery retries
+// over transport (nil = lossless direct delivery). Each site re-ships
+// its snapshot until the coordinator decodes it successfully or the
+// per-site budget of maxRetries re-sends is exhausted; the bits of every
+// attempt, failed ones included, are tallied in Comm.SitesToCoord. The
+// final estimate is bit-identical to SketchAndShip on the same inputs:
+// retries change what the protocol costs, never what it computes.
+func SketchAndShipResilient(parts []*formula.DNF, seed uint64, opts Options, transport ShipTransport, maxRetries int) (Result, error) {
+	k := len(parts)
+	if k == 0 {
+		return Result{}, fmt.Errorf("distributed: no sites")
+	}
+	if transport == nil {
+		transport = func(_, _ int, blob []byte) ([]byte, error) { return blob, nil }
+	}
+
+	var res Result
+	res.Comm.CoordToSites = int64(k) * 64 // the seed broadcast
+
+	// Sites sketch their partitions exactly as in SketchAndShip.
+	blobs := make([][]byte, k)
+	errs := make([]error, k)
+	runTrials(k, opts.parallelism(), func(j int) {
+		site := setstream.NewDNFStream(parts[j].N, setstream.Options{
+			Epsilon:     opts.Epsilon,
+			Delta:       opts.Delta,
+			Thresh:      opts.Thresh,
+			Iterations:  opts.Iterations,
+			RNG:         stats.NewRNG(seed),
+			Parallelism: opts.Parallelism,
+		})
+		site.ProcessDNF(parts[j])
+		blobs[j], errs[j] = site.MarshalBinary()
+	})
+	for j, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("distributed: site %d snapshot: %w", j, err)
+		}
+	}
+
+	// Delivery: ship each blob until a copy decode-verifies at the
+	// coordinator. Attempts are serial per site and tallied in site order,
+	// so the metered bits are deterministic for a deterministic transport.
+	received := make([][]byte, k)
+	for j := range blobs {
+		var lastErr error
+		delivered := false
+		for attempt := 0; attempt <= maxRetries; attempt++ {
+			got, err := transport(j, attempt, blobs[j])
+			res.Comm.SitesToCoord += int64(len(blobs[j])) * 8
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if _, err := setstream.DecodeDNFStream(got, opts.Parallelism); err != nil {
+				lastErr = fmt.Errorf("decode-verify: %w", err)
+				continue
+			}
+			received[j] = got
+			delivered = true
+			break
+		}
+		if !delivered {
+			return Result{}, fmt.Errorf("distributed: site %d: snapshot undeliverable after %d attempts: %w",
+				j, maxRetries+1, lastErr)
+		}
+	}
+
+	merged, err := CombineDNFSnapshots(received, opts.Parallelism)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Estimate = merged.Estimate()
+	return res, nil
+}

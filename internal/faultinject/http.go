@@ -1,0 +1,174 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// resetError is the injected connection-reset error; it reports itself
+// as a temporary network error, like a real RST would surface.
+type resetError struct{ phase string }
+
+func (e *resetError) Error() string {
+	return "faultinject: injected fault: connection reset (" + e.phase + ")"
+}
+func (e *resetError) Unwrap() error   { return ErrInjected }
+func (e *resetError) Timeout() bool   { return false }
+func (e *resetError) Temporary() bool { return true }
+
+var _ net.Error = (*resetError)(nil)
+
+// RoundTripper wraps inner (nil = http.DefaultTransport) with the
+// policy's HTTP-path faults. Each round trip draws one decision:
+//
+//   - latency: sleep frac·MaxLatency, then forward unchanged;
+//   - reset (frac < ½): fail before the request is sent — the server
+//     never sees it;
+//   - reset (frac ≥ ½): forward the request, discard the server's
+//     response, fail — the at-least-once generator: a retry after this
+//     fault is a duplicate delivery, which set-semantics ingestion must
+//     absorb without changing the estimate;
+//   - truncate: forward, then cut the response body in half (headers,
+//     including Content-Length, untouched);
+//   - corrupt: forward, then overwrite the leading body bytes with 0xFF.
+func (c *Chaos) RoundTripper(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &roundTripper{c: c, inner: inner}
+}
+
+type roundTripper struct {
+	c     *Chaos
+	inner http.RoundTripper
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := rt.c.httpDecision()
+	switch d.kind {
+	case KindLatency:
+		rt.c.count(KindLatency)
+		time.Sleep(time.Duration(d.frac * float64(rt.c.cfg.maxLatency())))
+	case KindReset:
+		rt.c.count(KindReset)
+		if d.frac < 0.5 {
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, &resetError{phase: "before send"}
+		}
+		resp, err := rt.inner.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, &resetError{phase: "after send"}
+	case KindTruncate:
+		resp, err := rt.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		rt.c.count(KindTruncate)
+		resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+		return resp, nil
+	case KindCorrupt:
+		resp, err := rt.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		rt.c.count(KindCorrupt)
+		for i := 0; i < len(body) && i < 8; i++ {
+			body[i] = 0xFF
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		return resp, nil
+	}
+	return rt.inner.RoundTrip(req)
+}
+
+// Listener wraps inner with the policy's connection-level faults: at the
+// Config.ConnReset rate an accepted connection is aborted after a
+// deterministic byte budget — the peer sees a mid-stream close, the
+// slow-loris / flaky-network shape the server's Read/Write timeouts and
+// the client's retries must both survive.
+func (c *Chaos) Listener(inner net.Listener) net.Listener {
+	return &listener{c: c, Listener: inner}
+}
+
+type listener struct {
+	net.Listener
+	c *Chaos
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return conn, err
+	}
+	if d := l.c.connDecision(); d.kind == KindReset {
+		l.c.count(KindReset)
+		ac := &abortConn{Conn: conn}
+		// Budget: 1–512 bytes of traffic before the abort.
+		ac.budget.Store(1 + int64(d.frac*511))
+		return ac, nil
+	}
+	return conn, nil
+}
+
+// abortConn serves reads and writes until its byte budget is exhausted,
+// then closes the underlying connection and fails every subsequent
+// operation — a mid-stream abort from the peer's point of view. The
+// budget is atomic because net/http reads and writes one connection from
+// different goroutines.
+type abortConn struct {
+	net.Conn
+	budget atomic.Int64
+}
+
+func (c *abortConn) Read(b []byte) (int, error) {
+	budget := c.budget.Load()
+	if budget <= 0 {
+		c.Conn.Close()
+		return 0, &resetError{phase: "conn read"}
+	}
+	if int64(len(b)) > budget {
+		b = b[:budget]
+	}
+	n, err := c.Conn.Read(b)
+	c.budget.Add(-int64(n))
+	return n, err
+}
+
+func (c *abortConn) Write(b []byte) (int, error) {
+	budget := c.budget.Load()
+	if budget <= 0 {
+		c.Conn.Close()
+		return 0, &resetError{phase: "conn write"}
+	}
+	if int64(len(b)) > budget {
+		n, err := c.Conn.Write(b[:budget])
+		c.budget.Add(-int64(n))
+		if err != nil {
+			return n, err
+		}
+		c.Conn.Close()
+		return n, &resetError{phase: "conn write"}
+	}
+	n, err := c.Conn.Write(b)
+	c.budget.Add(-int64(n))
+	return n, err
+}

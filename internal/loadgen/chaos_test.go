@@ -1,0 +1,182 @@
+package loadgen_test
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mcf0"
+	"mcf0/internal/faultinject"
+	"mcf0/internal/loadgen"
+	"mcf0/internal/server"
+	"mcf0/internal/server/middleware"
+)
+
+// errLoggingTarget surfaces each op error verbatim, so a chaos-soak
+// failure names the fault that leaked through the retries instead of
+// just counting it.
+type errLoggingTarget struct {
+	t     *testing.T
+	inner loadgen.Target
+}
+
+func (lt *errLoggingTarget) Ingest(batch []uint64) error {
+	err := lt.inner.Ingest(batch)
+	if err != nil {
+		lt.t.Logf("ingest error: %v", err)
+	}
+	return err
+}
+
+func (lt *errLoggingTarget) Estimate() (float64, error) {
+	est, err := lt.inner.Estimate()
+	if err != nil {
+		lt.t.Logf("estimate error: %v", err)
+	}
+	return est, err
+}
+
+func (lt *errLoggingTarget) Snapshot() error {
+	err := lt.inner.Snapshot()
+	if err != nil {
+		lt.t.Logf("snapshot error: %v", err)
+	}
+	return err
+}
+
+// TestChaosSoakDeterminism is ARCHITECTURE.md invariant 9's enforcement
+// test: the same seeded workload as the clean soak runs through a
+// fault-injected transport (latency spikes, connection resets before and
+// after send, truncated and corrupted response bodies) against a daemon
+// whose snapshot disk throws seeded transient failures — and with
+// retries enabled the run must finish with zero surfaced errors and a
+// final estimate bit-identical to a fault-free in-process sketch over
+// the same element stream. Duplicate deliveries from reset-after-send
+// retries are absorbed by set semantics; truncated/corrupted bodies are
+// re-fetched; disk faults surface as retryable 503s.
+func TestChaosSoakDeterminism(t *testing.T) {
+	// Transient disk faults: snapshot ops exercise the retry path
+	// server-side. The rate is per hook call and one snapshot makes ~7
+	// (mkdir + two atomic write sequences), so 5% per call is ~30% per
+	// snapshot attempt. BreakerFailures is set far above anything this
+	// run can reach so the breaker never opens and every fault stays
+	// retryable — breaker behaviour has its own tests (state, server e2e).
+	diskChaos := faultinject.MustNew(faultinject.Config{Seed: 1101, Disk: 0.05})
+	srv, err := server.New(server.Config{
+		Tenants:         []middleware.TenantConfig{{Name: "soak", Token: "soak-token"}},
+		DataDir:         t.TempDir(),
+		Logf:            func(string, ...any) {},
+		DiskHook:        diskChaos.DiskHook(),
+		BreakerFailures: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Client-side transport chaos: ~18% of round trips disturbed.
+	httpChaos := faultinject.MustNew(faultinject.Config{
+		Seed:       707,
+		Latency:    0.04,
+		MaxLatency: 500 * time.Microsecond,
+		Reset:      0.06,
+		Truncate:   0.04,
+		Corrupt:    0.04,
+	})
+	client := &http.Client{Transport: httpChaos.RoundTripper(ts.Client().Transport)}
+
+	spec := loadgen.Spec{
+		Seed: 20210401, Ops: 300, Clients: 6, Bits: 20, Batch: 48,
+		IngestWeight: 85, EstimateWeight: 13, SnapshotWeight: 2,
+		Keys: 3000, ZipfS: 1.2,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	const sketchSeed = 4242
+	target, err := loadgen.NewHTTPTarget(loadgen.HTTPConfig{
+		BaseURL: ts.URL, Token: "soak-token", Sketch: "chaos",
+		Client: client,
+		// Max 16: a snapshot attempt fails ~45% of the time under the
+		// combined disk + transport chaos, so a double-digit budget keeps
+		// retry exhaustion below ~1e-6 per run.
+		Retry: loadgen.RetryPolicy{
+			Max: 16, Base: 200 * time.Microsecond, Cap: 2 * time.Millisecond, Seed: 99,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.CreateSketch(spec.Bits, "minimum", sketchSeed, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := loadgen.Run(spec, &errLoggingTarget{t: t, inner: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps != uint64(spec.Ops) {
+		t.Fatalf("ran %d ops, want %d", rep.TotalOps, spec.Ops)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("%d errors surfaced despite retries: %+v", rep.TotalErrors, rep.Kinds)
+	}
+
+	// The chaos must actually have fired, and the retries absorbed it.
+	if httpChaos.InjectedTotal() == 0 {
+		t.Fatal("transport chaos injected nothing; the soak validated an empty hypothesis")
+	}
+	if target.Retries() == 0 {
+		t.Fatal("no retries issued under ~18% transport fault rate")
+	}
+	t.Logf("injected %v transport faults (%d disk), %d retries",
+		httpChaos.Injected(), diskChaos.InjectedTotal(), target.Retries())
+
+	// Invariant 9: the estimate after the fault-injected run is
+	// bit-identical to a fault-free serial sketch over the same stream.
+	ref, err := mcf0.NewF0(spec.Bits, mcf0.AlgorithmMinimum, mcf0.Config{Seed: sketchSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.AddBatch(spec.IngestedElements())
+	if want := ref.Estimate(); rep.FinalEstimate != want {
+		t.Fatalf("estimate after chaos %v != fault-free estimate %v (invariant 9 broken)",
+			rep.FinalEstimate, want)
+	}
+
+	// 5xx attribution: every server-side 5xx must be an injected disk
+	// fault on the snapshot route — any other 5xx is a real server bug
+	// the chaos uncovered.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	re := regexp.MustCompile(`^f0d_http_requests_total\{code="(5\d\d)",route="([^"]+)"\} (\d+)`)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		m := re.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		if !strings.Contains(m[2], "/snapshot") {
+			t.Errorf("non-injected 5xx: %s", sc.Text())
+			continue
+		}
+		n, _ := strconv.Atoi(m[3])
+		if uint64(n) > diskChaos.InjectedTotal() {
+			t.Errorf("%d snapshot 5xx responses exceed %d injected disk faults: %s",
+				n, diskChaos.InjectedTotal(), sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,11 +18,13 @@ import (
 // workers; request bodies are built with pooled buffers so the
 // generator itself stays off the allocator's hot path.
 type HTTPTarget struct {
-	base   string // URL prefix up to /v1, no trailing slash
-	token  string
-	sketch string
-	client *http.Client
-	bufs   sync.Pool
+	base    string // URL prefix up to /v1, no trailing slash
+	token   string
+	sketch  string
+	client  *http.Client
+	retry   RetryPolicy
+	retries retryCounter
+	bufs    sync.Pool
 }
 
 // HTTPConfig parameterises an HTTP target.
@@ -41,6 +43,9 @@ type HTTPConfig struct {
 	// Client overrides the HTTP client (tests pass httptest clients);
 	// when set, Clients and Timeout are ignored.
 	Client *http.Client
+	// Retry configures seeded backoff-with-jitter retries (zero value =
+	// no retries, preserving single-shot behaviour).
+	Retry RetryPolicy
 }
 
 // NewHTTPTarget builds an HTTP target; it performs no I/O until the
@@ -72,8 +77,13 @@ func NewHTTPTarget(cfg HTTPConfig) (*HTTPTarget, error) {
 		token:  cfg.Token,
 		sketch: cfg.Sketch,
 		client: client,
+		retry:  cfg.Retry,
 	}, nil
 }
+
+// Retries returns how many retry attempts the target has issued (the
+// chaos soak's evidence that faults actually fired and were absorbed).
+func (t *HTTPTarget) Retries() uint64 { return t.retries.total() }
 
 // apiError is the daemon's error envelope.
 type apiError struct {
@@ -83,17 +93,35 @@ type apiError struct {
 	} `json:"error"`
 }
 
-// do issues one request and fully drains the response (connection
+// do issues one request with the target's retry policy: transport
+// errors, retryable statuses, and undecodable bodies are retried with
+// seeded backoff-with-jitter up to the policy's budget; the last error
+// is returned when the budget runs out. Retrying is safe because every
+// op is idempotent under the daemon's set semantics.
+func (t *HTTPTarget) do(method, url string, body []byte, out any) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var retryable bool
+		var retryAfter time.Duration
+		retryable, retryAfter, err = t.doOnce(method, url, body, out)
+		if err == nil || !retryable || attempt >= t.retry.Max {
+			return err
+		}
+		t.retry.sleep(t.retry.backoff(attempt, t.retries.next(), retryAfter))
+	}
+}
+
+// doOnce issues one attempt and fully drains the response (connection
 // reuse); non-2xx statuses decode the error envelope into the returned
 // error. When out is non-nil the response body is decoded into it.
-func (t *HTTPTarget) do(method, url string, body []byte, out any) error {
+func (t *HTTPTarget) doOnce(method, url string, body []byte, out any) (retryable bool, retryAfter time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
-		return err
+		return false, 0, err
 	}
 	if t.token != "" {
 		req.Header.Set("Authorization", "Bearer "+t.token)
@@ -103,25 +131,30 @@ func (t *HTTPTarget) do(method, url string, body []byte, out any) error {
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
-		return err
+		return true, 0, err // transport errors (resets, timeouts) are always retryable
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		retryable = retryableStatus(resp.StatusCode)
+		retryAfter = parseRetryAfter(resp.Header)
 		var envelope apiError
-		if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error.Code != "" {
-			return fmt.Errorf("loadgen: %s %s: %s (%s)", method, url, envelope.Error.Code, envelope.Error.Message)
+		if derr := json.NewDecoder(resp.Body).Decode(&envelope); derr == nil && envelope.Error.Code != "" {
+			return retryable, retryAfter, fmt.Errorf("loadgen: %s %s: %s (%s)", method, url, envelope.Error.Code, envelope.Error.Message)
 		}
-		return fmt.Errorf("loadgen: %s %s: HTTP %d", method, url, resp.StatusCode)
+		return retryable, retryAfter, fmt.Errorf("loadgen: %s %s: HTTP %d", method, url, resp.StatusCode)
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("loadgen: %s %s: decoding response: %w", method, url, err)
+			// A 2xx with an undecodable body is a truncated or corrupted
+			// response: the op succeeded server-side, so replaying it is
+			// harmless and recovers the payload.
+			return true, 0, fmt.Errorf("loadgen: %s %s: decoding response: %w", method, url, err)
 		}
 	}
-	return nil
+	return false, 0, nil
 }
 
 // CreateSketch creates the target sketch (POST /v1/sketches) with the

@@ -49,6 +49,11 @@ type Report struct {
 	// Profiles records where pprof capture landed, when requested.
 	CPUProfile string `json:"cpu_profile,omitempty"`
 	MemProfile string `json:"mem_profile,omitempty"`
+	// FaultsInjected tallies chaos faults by kind when the run wrapped
+	// its transport with -chaos (see internal/faultinject); Retries is
+	// how many retry attempts the HTTP target issued absorbing them.
+	FaultsInjected map[string]uint64 `json:"faults_injected,omitempty"`
+	Retries        uint64            `json:"retries,omitempty"`
 }
 
 // MarshalIndented renders the report as indented JSON with a trailing

@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"mcf0/internal/faultinject"
+)
+
+// RetryPolicy parameterises the HTTP target's seeded
+// exponential-backoff-with-jitter retries. Retried faults are transport
+// errors (resets, timeouts), retryable statuses (429, 500, 502, 503,
+// 504), and undecodable response bodies (truncation, corruption) — all
+// safe to replay against f0d because sketch ingestion has set
+// semantics: a duplicate delivery cannot move the estimate (ARCHITECTURE.md
+// invariant 9).
+type RetryPolicy struct {
+	// Max is the retry budget per op beyond the first attempt
+	// (0 = no retries).
+	Max int
+	// Base is the first backoff ceiling; it doubles per attempt
+	// (0 = 5ms).
+	Base time.Duration
+	// Cap bounds one backoff sleep (0 = 1s).
+	Cap time.Duration
+	// Seed drives the jitter stream: sleep n draws its fraction from
+	// faultinject.FracAt(Seed, n), so a seeded run backs off through a
+	// reproducible schedule.
+	Seed uint64
+	// Sleep overrides time.Sleep (tests inject to run instantly).
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.Base > 0 {
+		return p.Base
+	}
+	return 5 * time.Millisecond
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.Cap > 0 {
+		return p.Cap
+	}
+	return time.Second
+}
+
+func (p RetryPolicy) sleep(d time.Duration) {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// backoff returns the nth jittered sleep for attempt (0-based): full
+// jitter over min(Cap, Base·2^attempt), floored by the server's
+// Retry-After when one was sent (itself capped, so a hostile or clock-skewed
+// header cannot stall the generator).
+func (p RetryPolicy) backoff(attempt int, jitterIdx uint64, retryAfter time.Duration) time.Duration {
+	ceil := p.base() << attempt
+	if ceil > p.cap() || ceil <= 0 {
+		ceil = p.cap()
+	}
+	d := time.Duration(faultinject.FracAt(p.Seed, jitterIdx) * float64(ceil))
+	if retryAfter > d {
+		d = retryAfter
+		if d > p.cap() {
+			d = p.cap()
+		}
+	}
+	return d
+}
+
+// retryableStatus reports whether an HTTP status is safe and useful to
+// retry: rate limiting, shedding, and server-side conditions. 4xx client
+// mistakes are never retried — replaying a malformed request cannot fix it.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value (the only form
+// f0d emits); absent or unparsable headers mean no floor.
+func parseRetryAfter(h http.Header) time.Duration {
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryCounter is the target's global jitter index: every retry across
+// all workers draws the next value of the policy's jitter stream. The
+// stream's values are deterministic in (Seed, index); which worker draws
+// which index depends on scheduling, which is fine — invariant 9 demands
+// the final estimate be identical under ANY fault/retry interleaving.
+type retryCounter struct{ n atomic.Uint64 }
+
+func (c *retryCounter) next() uint64 { return c.n.Add(1) - 1 }
+func (c *retryCounter) total() uint64 {
+	return c.n.Load()
+}

@@ -145,9 +145,20 @@ func (api *API) sketchOr404(w http.ResponseWriter, r *http.Request) (*state.Sket
 	return sk, true
 }
 
-// Healthz is the liveness probe: GET /healthz.
+// Healthz is the liveness probe: GET /healthz. With the snapshot
+// breaker open the daemon is degraded, not dead — estimates still
+// serve — so the status flips to "degraded" but the code stays 200:
+// orchestrators must not kill a replica that is the only holder of
+// dirty in-memory state.
 func (api *API) Healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]string{"status": "ok"}
+	if br := api.Registry.Breaker(); br != nil {
+		if st := br.State(); st != state.BreakerClosed {
+			body["status"] = "degraded"
+			body["snapshot_breaker"] = st.String()
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // tenantLabel renders the metric label for a tenant.

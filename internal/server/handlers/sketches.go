@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"mcf0/internal/server/state"
 )
@@ -255,8 +257,23 @@ func (api *API) Snapshot(w http.ResponseWriter, r *http.Request) {
 			"snapshot persistence is disabled: start f0d with -data <dir>")
 		return
 	}
+	if errors.Is(err, state.ErrBreakerOpen) {
+		retryAfter := 1
+		if br := api.Registry.Breaker(); br != nil {
+			if secs := int((br.RetryAfter() + time.Second - 1) / time.Second); secs > retryAfter {
+				retryAfter = secs
+			}
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeErr(w, http.StatusServiceUnavailable, "snapshot_unavailable",
+			"snapshot circuit breaker open after repeated disk failures; serving degraded, retry later")
+		return
+	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "snapshot_failed", err.Error())
+		// A failing disk is an operational condition, not a handler bug:
+		// 503 + Retry-After, so well-behaved clients back off and retry.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "snapshot_failed", err.Error())
 		return
 	}
 	t := tenant(r)

@@ -100,6 +100,10 @@ var helpText = map[string]struct {
 	"f0d_sketches":                  {help: "Live sketches, by tenant.", gauge: true},
 	"f0d_sketch_words":              {help: "Summed sketch footprint in 64-bit words, by tenant.", gauge: true},
 	"f0d_uptime_seconds":            {help: "Seconds since the daemon started.", gauge: true},
+	"f0d_shed_total":                {help: "Requests refused by the in-flight load-shedding gate (503 overloaded)."},
+	"f0d_inflight_requests":         {help: "Authenticated requests currently executing.", gauge: true},
+	"f0d_snapshot_breaker_state":    {help: "Snapshot disk circuit breaker state (0=closed, 1=open, 2=half-open).", gauge: true},
+	"f0d_snapshot_breaker_opens":    {help: "Times the snapshot disk circuit breaker has opened since boot.", gauge: true},
 }
 
 // ServeHTTP renders the registry in the Prometheus text format.

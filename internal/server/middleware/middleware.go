@@ -15,8 +15,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcf0/internal/server/metrics"
@@ -50,10 +52,12 @@ type Tenant struct {
 	last   time.Time
 }
 
-// allow takes one token from the bucket if available.
-func (t *Tenant) allow(now time.Time) bool {
+// allow takes one token from the bucket if available; when it refuses,
+// retryAfter is how long until the bucket next holds a whole token (the
+// 429 Retry-After hint).
+func (t *Tenant) allow(now time.Time) (ok bool, retryAfter time.Duration) {
 	if t.rate <= 0 {
-		return true
+		return true, 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -65,10 +69,10 @@ func (t *Tenant) allow(now time.Time) bool {
 	}
 	t.last = now
 	if t.tokens < 1 {
-		return false
+		return false, time.Duration((1 - t.tokens) / t.rate * float64(time.Second))
 	}
 	t.tokens--
-	return true
+	return true, 0
 }
 
 type ctxKey struct{}
@@ -144,12 +148,80 @@ func (a *Auth) Wrap(next http.Handler) http.Handler {
 			writeErr(w, http.StatusUnauthorized, "unauthorized", "unknown bearer token")
 			return
 		}
-		if !tenant.allow(a.now()) {
+		if ok, retryAfter := tenant.allow(a.now()); !ok {
 			a.met.AddLabeled("f0d_rate_limited_total", metrics.Label("tenant", tenant.Name), 1)
+			w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
 			writeErr(w, http.StatusTooManyRequests, "rate_limited", "tenant request rate exceeded; retry later")
 			return
 		}
 		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKey{}, tenant)))
+	})
+}
+
+// retryAfterSeconds renders a duration as a Retry-After header value:
+// whole seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// Shed is the bounded in-flight gate: at most limit requests run at
+// once, and excess load is refused immediately with 503 + Retry-After
+// instead of queueing until timeouts tear everything down. Health and
+// metrics routes are wired outside the gate so operators can always
+// observe a saturated daemon.
+type Shed struct {
+	limit    int64
+	inflight atomic.Int64
+	met      *metrics.Metrics
+}
+
+// NewShed builds the gate; limit ≤ 0 disables shedding (nil Shed also
+// works as a no-op wrapper).
+func NewShed(limit int, met *metrics.Metrics) *Shed {
+	return &Shed{limit: int64(limit), met: met}
+}
+
+// Wrap applies the gate to next.
+func (s *Shed) Wrap(next http.Handler) http.Handler {
+	if s == nil || s.limit <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight.Add(1) > s.limit {
+			s.inflight.Add(-1)
+			s.met.Add("f0d_shed_total", 1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "overloaded", "server at capacity; retry later")
+			return
+		}
+		defer s.inflight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// InFlight returns the current number of admitted requests.
+func (s *Shed) InFlight() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.inflight.Load()
+}
+
+// Deadline attaches a per-request timeout to the request context, so
+// every handler downstream — including snapshot disk writes — inherits
+// a cancellation deadline. d ≤ 0 disables the wrapper.
+func Deadline(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
 

@@ -71,29 +71,31 @@ func TestTokenBucket(t *testing.T) {
 	now := time.Unix(0, 0)
 	// Burst of 3, then dry.
 	for i := 0; i < 3; i++ {
-		if !tenant.allow(now) {
+		if ok, _ := tenant.allow(now); !ok {
 			t.Fatalf("burst request %d denied", i)
 		}
 	}
-	if tenant.allow(now) {
+	if ok, retryAfter := tenant.allow(now); ok {
 		t.Fatal("4th request in one instant should be denied")
+	} else if retryAfter <= 0 || retryAfter > 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 500ms] at 2 tokens/s", retryAfter)
 	}
 	// 500ms refills one token at 2/s.
 	now = now.Add(500 * time.Millisecond)
-	if !tenant.allow(now) {
+	if ok, _ := tenant.allow(now); !ok {
 		t.Fatal("request after refill denied")
 	}
-	if tenant.allow(now) {
+	if ok, _ := tenant.allow(now); ok {
 		t.Fatal("bucket should be dry again")
 	}
 	// A long idle period caps at the burst, not unbounded.
 	now = now.Add(time.Hour)
 	for i := 0; i < 3; i++ {
-		if !tenant.allow(now) {
+		if ok, _ := tenant.allow(now); !ok {
 			t.Fatalf("post-idle burst request %d denied", i)
 		}
 	}
-	if tenant.allow(now) {
+	if ok, _ := tenant.allow(now); ok {
 		t.Fatal("idle time must not accumulate beyond the burst")
 	}
 }
@@ -116,10 +118,133 @@ func TestBurstDefaults(t *testing.T) {
 	}
 	for _, tn := range auth.byToken {
 		for i := 0; i < 100; i++ {
-			if !tn.allow(time.Unix(0, 0)) {
+			if ok, _ := tn.allow(time.Unix(0, 0)); !ok {
 				t.Fatal("unlimited tenant was rate limited")
 			}
 		}
+	}
+}
+
+func TestRateLimitSendsRetryAfter(t *testing.T) {
+	met := metrics.New()
+	auth, err := NewAuth([]TenantConfig{{Name: "a", Token: "x", RatePerSec: 1, Burst: 1}}, met, func() time.Time { return time.Unix(0, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := auth.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	mk := func() *httptest.ResponseRecorder {
+		r := httptest.NewRequest("GET", "/", nil)
+		r.Header.Set("Authorization", "Bearer x")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		return rec
+	}
+	if rec := mk(); rec.Code != http.StatusOK {
+		t.Fatalf("first request: status %d", rec.Code)
+	}
+	rec := mk()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want %q (1 token/s bucket)", ra, "1")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{10 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1100 * time.Millisecond, "2"},
+		{10 * time.Second, "10"},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestShed: requests beyond the in-flight limit are refused with 503 +
+// Retry-After while an admitted request is still running.
+func TestShed(t *testing.T) {
+	met := metrics.New()
+	shed := NewShed(1, met)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := shed.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	done := make(chan *httptest.ResponseRecorder)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		done <- rec
+	}()
+	<-entered // the slow request holds the only slot
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated gate: status %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("shed Retry-After = %q, want %q", ra, "1")
+	}
+	var body struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error.Code != "overloaded" {
+		t.Fatalf("shed body %q (err %v), want the overloaded envelope", rec.Body.String(), err)
+	}
+
+	close(release)
+	if rec := <-done; rec.Code != http.StatusOK {
+		t.Fatalf("admitted request: status %d, want 200", rec.Code)
+	}
+	if shed.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after all requests finished", shed.InFlight())
+	}
+}
+
+func TestShedDisabled(t *testing.T) {
+	var s *Shed
+	h := s.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil shed: status %d", rec.Code)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	var sawDeadline bool
+	h := Deadline(time.Minute, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !sawDeadline {
+		t.Fatal("Deadline(1m) did not attach a context deadline")
+	}
+	h = Deadline(0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+	}))
+	sawDeadline = false
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if sawDeadline {
+		t.Fatal("Deadline(0) attached a deadline; 0 must disable the wrapper")
 	}
 }
 

@@ -39,10 +39,62 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes bounds request bodies (0 = 8 MiB).
 	MaxBodyBytes int64
-	// Now is the rate limiter's clock (nil = time.Now; tests inject).
+	// Now is the rate limiter's and breaker's clock (nil = time.Now;
+	// tests inject).
 	Now func() time.Time
 	// Logf receives operational log lines (nil = log.Printf).
 	Logf func(format string, args ...any)
+
+	// ReadHeaderTimeout, ReadTimeout, WriteTimeout, and IdleTimeout
+	// harden the http.Server against slow-loris clients and dead
+	// connections (0 = the defaults 5s/60s/60s/120s; < 0 = disabled).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+	// MaxHeaderBytes bounds request headers (0 = 1 MiB).
+	MaxHeaderBytes int
+	// RequestTimeout is the per-request context deadline propagated to
+	// every authenticated handler (0 = disabled).
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently executing authenticated requests;
+	// excess load is shed with 503 + Retry-After (0 = unlimited).
+	// /healthz and /metrics are exempt, so a saturated daemon stays
+	// observable.
+	MaxInFlight int
+	// DrainTimeout bounds the graceful drain of in-flight requests on
+	// shutdown (0 = 10s).
+	DrainTimeout time.Duration
+
+	// BreakerFailures is how many consecutive snapshot disk failures
+	// open the circuit breaker (0 = 3); BreakerCooldown is the open →
+	// half-open probe delay (0 = 10s).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// DiskHook, when non-nil, intercepts every snapshot disk operation —
+	// the fault-injection seam (see internal/faultinject).
+	DiskHook state.DiskHook
+}
+
+// Default timeout values applied when the corresponding Config field is
+// zero.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 60 * time.Second
+	DefaultWriteTimeout      = 60 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+	DefaultMaxHeaderBytes    = 1 << 20
+	DefaultDrainTimeout      = 10 * time.Second
+)
+
+func defDur(v, def time.Duration) time.Duration {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	}
+	return v
 }
 
 // Server is one assembled daemon.
@@ -53,6 +105,7 @@ type Server struct {
 	metrics  *metrics.Metrics
 	api      *handlers.API
 	auth     *middleware.Auth
+	shed     *middleware.Shed
 	handler  http.Handler
 	restored int
 }
@@ -92,6 +145,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	reg := state.NewRegistry(cfg.DataDir)
+	if cfg.DiskHook != nil {
+		reg.SetDiskHook(cfg.DiskHook)
+	}
+	breaker := state.NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, cfg.Now)
+	reg.SetBreaker(breaker)
 	restored, err := reg.Load()
 	if err != nil {
 		return nil, fmt.Errorf("server: restore-on-boot: %w", err)
@@ -110,6 +168,16 @@ func New(cfg Config) (*Server, error) {
 		}
 		return out
 	})
+	met.RegisterGauge("f0d_snapshot_breaker_state", func() map[string]float64 {
+		return map[string]float64{"": float64(breaker.State())}
+	})
+	met.RegisterGauge("f0d_snapshot_breaker_opens", func() map[string]float64 {
+		return map[string]float64{"": float64(breaker.Opens())}
+	})
+	shed := middleware.NewShed(cfg.MaxInFlight, met)
+	met.RegisterGauge("f0d_inflight_requests", func() map[string]float64 {
+		return map[string]float64{"": float64(shed.InFlight())}
+	})
 	s := &Server{
 		cfg:      cfg,
 		logf:     logf,
@@ -117,13 +185,20 @@ func New(cfg Config) (*Server, error) {
 		metrics:  met,
 		api:      &handlers.API{Registry: reg, Metrics: met, MaxBatch: cfg.MaxBatch, MaxBodyBytes: cfg.MaxBodyBytes},
 		auth:     auth,
+		shed:     shed,
 		restored: restored,
 	}
 	mux := http.NewServeMux()
 	for _, rt := range s.Routes() {
 		h := http.Handler(rt.handler)
 		if rt.Auth {
+			// Inside-out: auth → deadline → shed, so the shed gate and
+			// request deadline also cover token verification, while
+			// /healthz and /metrics stay outside both — a saturated or
+			// degraded daemon must remain observable.
 			h = s.auth.Wrap(h)
+			h = middleware.Deadline(cfg.RequestTimeout, h)
+			h = shed.Wrap(h)
 		}
 		h = middleware.Observe(rt.Method+" "+rt.Pattern, met, h)
 		mux.Handle(rt.Method+" "+rt.Pattern, h)
@@ -185,7 +260,17 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // Serve is ListenAndServe over an existing listener (tests and the CLI
 // use it to learn the bound port before serving).
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{Handler: s.handler}
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: defDur(s.cfg.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		ReadTimeout:       defDur(s.cfg.ReadTimeout, DefaultReadTimeout),
+		WriteTimeout:      defDur(s.cfg.WriteTimeout, DefaultWriteTimeout),
+		IdleTimeout:       defDur(s.cfg.IdleTimeout, DefaultIdleTimeout),
+		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
+	}
+	if srv.MaxHeaderBytes == 0 {
+		srv.MaxHeaderBytes = DefaultMaxHeaderBytes
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	s.logf("f0d: serving on %s (%d sketch(es) restored)", ln.Addr(), s.restored)
@@ -194,7 +279,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
-	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	drainCtx, cancel := context.WithTimeout(context.Background(), defDur(s.cfg.DrainTimeout, DefaultDrainTimeout))
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		s.Shutdown()

@@ -1,0 +1,162 @@
+package state
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the snapshot circuit breaker's current mode.
+type BreakerState int32
+
+const (
+	// BreakerClosed: disk writes flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: snapshot writes are refused without touching the
+	// disk; the daemon serves in degraded (serve-only) mode.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe write
+	// is allowed through; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String names the state as /healthz and /metrics report it.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is the snapshot disk circuit breaker: after Threshold
+// consecutive write failures it opens, and the daemon degrades to
+// serve-only mode — ingest and estimates keep flowing, dirty state is
+// preserved in memory, and snapshot requests fail fast with a
+// Retry-After instead of hammering a dead disk. After Cooldown one
+// half-open probe is let through; success closes the breaker, failure
+// re-opens it for another cooldown.
+//
+// The clock is injectable so the open→half-open→closed transitions are
+// unit-testable without sleeping.
+type Breaker struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	threshold int
+	cooldown  time.Duration
+
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	opens    uint64    // times opened since construction
+}
+
+// NewBreaker builds a breaker opening after threshold consecutive
+// failures (≤ 0 = 3) with the given half-open cooldown (≤ 0 = 10s);
+// now is the clock (nil = time.Now).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{now: now, threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a snapshot write may proceed. While open it
+// returns false until the cooldown elapses, then admits exactly one
+// half-open probe at a time; the caller must report the probe's outcome
+// through Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful disk write: it resets the failure streak
+// and closes a half-open breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Failure records a failed disk write: it re-opens a half-open breaker
+// immediately and opens a closed one once the consecutive-failure streak
+// reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.opens++
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// State returns the current mode (checking for an elapsed cooldown, so
+// an open breaker reads half-open once a probe would be admitted).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// RetryAfter returns how long until a snapshot attempt could be admitted
+// (zero when the breaker is closed or a probe is already due).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	if rem := b.cooldown - b.now().Sub(b.openedAt); rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+// Opens returns how many times the breaker has opened since construction
+// (the f0d_snapshot_breaker_opens gauge's source).
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

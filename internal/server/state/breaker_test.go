@@ -1,0 +1,299 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable breaker clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time                 { return c.t }
+func (c *fakeClock) advance(d time.Duration)        { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                      { return &fakeClock{t: time.Unix(1000, 0)} }
+func newTestBreaker(clk *fakeClock, n int) *Breaker { return NewBreaker(n, 10*time.Second, clk.now) }
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, 3)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused write %d", i)
+		}
+		b.Failure()
+		if b.State() != BreakerClosed {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker closed after 3 consecutive failures")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens = %d, want 1", b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a write inside the cooldown")
+	}
+	if ra := b.RetryAfter(); ra != 10*time.Second {
+		t.Fatalf("RetryAfter = %v, want 10s", ra)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, 3)
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Success() // streak broken
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, 1)
+	b.Allow()
+	b.Failure() // threshold 1 → open
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+
+	clk.advance(9 * time.Second)
+	if b.Allow() {
+		t.Fatal("probe admitted before cooldown elapsed")
+	}
+	clk.advance(2 * time.Second) // past cooldown
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// Only ONE probe at a time.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe fails → re-open for another full cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens = %d, want 2", b.Opens())
+	}
+	clk.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker refused the next probe after cooldown")
+	}
+	// Probe succeeds → closed, writes flow again.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close")
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker limits admissions")
+	}
+	if b.RetryAfter() != 0 {
+		t.Fatalf("closed RetryAfter = %v, want 0", b.RetryAfter())
+	}
+}
+
+// TestSnapshotBreakerIntegration: injected disk failures drive the
+// registry's breaker open; snapshots then fail fast with ErrBreakerOpen
+// without touching the disk, and a healed disk closes it through the
+// half-open probe.
+func TestSnapshotBreakerIntegration(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	r := NewRegistry(dir)
+	r.SetBreaker(NewBreaker(2, 10*time.Second, clk.now))
+
+	var broken atomic.Bool
+	var hookCalls atomic.Int64
+	r.SetDiskHook(func(path, phase string) error {
+		hookCalls.Add(1)
+		if broken.Load() {
+			return fmt.Errorf("injected %s failure on %s", phase, path)
+		}
+		return nil
+	})
+
+	sk, err := r.Create("t", "s", SketchConfig{Bits: 16, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.AddBatch([]uint64{1, 2, 3})
+	if _, err := r.Snapshot(sk); err != nil {
+		t.Fatalf("healthy snapshot: %v", err)
+	}
+
+	broken.Store(true)
+	sk.AddBatch([]uint64{4})
+	for i := 0; i < 2; i++ {
+		if _, err := r.Snapshot(sk); err == nil {
+			t.Fatalf("snapshot %d succeeded over a broken disk", i)
+		}
+	}
+	if r.Breaker().State() != BreakerOpen {
+		t.Fatal("breaker not open after 2 disk failures")
+	}
+
+	// Open breaker: fail fast, disk untouched.
+	before := hookCalls.Load()
+	if _, err := r.Snapshot(sk); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker snapshot: %v, want ErrBreakerOpen", err)
+	}
+	if hookCalls.Load() != before {
+		t.Fatal("open breaker still touched the disk")
+	}
+
+	// Ingest and estimates keep flowing in degraded mode.
+	sk.AddBatch([]uint64{5, 6})
+	if est, _, _ := sk.Estimate(); est <= 0 {
+		t.Fatalf("estimate in degraded mode = %v", est)
+	}
+
+	// Heal + cooldown → half-open probe succeeds → closed.
+	broken.Store(false)
+	clk.advance(11 * time.Second)
+	if _, err := r.Snapshot(sk); err != nil {
+		t.Fatalf("probe snapshot after heal: %v", err)
+	}
+	if r.Breaker().State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if sk.Dirty() {
+		t.Fatal("post-heal snapshot left the sketch dirty")
+	}
+}
+
+// TestShutdownBypassesOpenBreaker: SnapshotDirty (the shutdown path)
+// writes even while the breaker is open — last-chance persistence on a
+// disk that healed after the breaker tripped.
+func TestShutdownBypassesOpenBreaker(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	r := NewRegistry(dir)
+	r.SetBreaker(NewBreaker(1, time.Hour, clk.now))
+
+	var broken atomic.Bool
+	r.SetDiskHook(func(path, phase string) error {
+		if broken.Load() {
+			return fmt.Errorf("injected %s failure", phase)
+		}
+		return nil
+	})
+	sk, err := r.Create("t", "s", SketchConfig{Bits: 16, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.AddBatch([]uint64{1, 2, 3})
+
+	broken.Store(true)
+	if _, err := r.Snapshot(sk); err == nil {
+		t.Fatal("snapshot succeeded over a broken disk")
+	}
+	if r.Breaker().State() != BreakerOpen {
+		t.Fatal("breaker not open")
+	}
+
+	// Disk heals; the hour-long cooldown has NOT elapsed, but shutdown
+	// must still persist the acked ingest.
+	broken.Store(false)
+	if n, err := r.SnapshotDirty(); n != 1 || err != nil {
+		t.Fatalf("SnapshotDirty over open breaker = (%d, %v), want (1, nil)", n, err)
+	}
+
+	r2 := NewRegistry(dir)
+	if n, err := r2.Load(); n != 1 || err != nil {
+		t.Fatalf("Load = (%d, %v), want (1, nil)", n, err)
+	}
+	got, err := r2.Get("t", "s")
+	if err != nil || got.Items() != 3 {
+		t.Fatalf("restored sketch: items=%d err=%v", got.Items(), err)
+	}
+}
+
+// TestRestorePartialWriteWreckage: an injected "write"-phase disk
+// failure leaves a partial temp file; boot must discard the stray and
+// restore the last good snapshot.
+func TestRestorePartialWriteWreckage(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry(dir)
+	sk, err := r.Create("t", "s", SketchConfig{Bits: 16, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.AddBatch([]uint64{1, 2, 3})
+	if _, err := r.Snapshot(sk); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now arm a write-phase failure and snapshot again: the temp file is
+	// left behind partially written, the good snapshot is untouched.
+	r.SetDiskHook(func(path, phase string) error {
+		if phase == "write" && strings.HasSuffix(path, ".snap") {
+			return fmt.Errorf("injected torn write")
+		}
+		return nil
+	})
+	sk.AddBatch([]uint64{4})
+	if _, err := r.Snapshot(sk); err == nil {
+		t.Fatal("torn write did not fail the snapshot")
+	}
+	strays, _ := filepath.Glob(filepath.Join(dir, "t", "*.tmp*"))
+	if len(strays) == 0 {
+		t.Fatal("torn write left no temp wreckage (the injection seam regressed)")
+	}
+
+	r2 := NewRegistry(dir)
+	if n, err := r2.Load(); n != 1 || err != nil {
+		t.Fatalf("Load over wreckage = (%d, %v), want (1, nil)", n, err)
+	}
+	got, err := r2.Get("t", "s")
+	if err != nil || got.Items() != 3 {
+		t.Fatalf("restored sketch: items=%d err=%v", got.Items(), err)
+	}
+	strays, _ = filepath.Glob(filepath.Join(dir, "t", "*.tmp*"))
+	if len(strays) != 0 {
+		t.Fatalf("boot left stray temp files: %v", strays)
+	}
+}
+
+// TestRestoreMissingBlob: a sidecar whose .snap vanished must abort the
+// boot with an error naming the file, not silently drop the sketch.
+func TestRestoreMissingBlob(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry(dir)
+	sk, err := r.Create("t", "s", SketchConfig{Bits: 16, Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.AddBatch([]uint64{1, 2, 3})
+	if _, err := r.Snapshot(sk); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "t", "s.snap")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry(dir).Load(); err == nil {
+		t.Fatal("Load accepted a sidecar with no blob")
+	}
+}

@@ -34,7 +34,19 @@ var (
 	ErrNotFound  = errors.New("state: sketch not found")
 	ErrQuota     = errors.New("state: tenant sketch quota exhausted")
 	ErrNoDataDir = errors.New("state: snapshot persistence disabled (no data directory)")
+	// ErrBreakerOpen means the snapshot circuit breaker refused the
+	// write: the disk failed repeatedly and the daemon is in serve-only
+	// degraded mode. Handlers map it to 503 with a Retry-After.
+	ErrBreakerOpen = errors.New("state: snapshot circuit breaker open (disk degraded)")
 )
+
+// DiskHook is the snapshot path's fault-injection seam: when non-nil it
+// is consulted before each physical write phase ("mkdir", "create",
+// "write", "rename") with the destination path; returning an error
+// simulates a disk failure at that point. A failure in the "write" phase
+// deliberately leaves the partial temp file behind, the wreckage a real
+// crash would leave — Load cleans such strays on boot.
+type DiskHook func(path, phase string) error
 
 // nameRE bounds sketch and tenant names to one safe path element.
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
@@ -170,6 +182,8 @@ type snapshotMeta struct {
 // Registry maps (tenant, name) to live sketches.
 type Registry struct {
 	dataDir string
+	hook    DiskHook
+	breaker *Breaker
 
 	mu       sync.Mutex
 	sketches map[string]*Sketch
@@ -178,14 +192,33 @@ type Registry struct {
 
 // NewRegistry returns an empty registry persisting snapshots under
 // dataDir ("" disables persistence; Snapshot then fails with
-// ErrNoDataDir and Load is a no-op).
+// ErrNoDataDir and Load is a no-op). The snapshot circuit breaker
+// defaults to 3 consecutive failures / 10s cooldown; override with
+// SetBreaker before serving.
 func NewRegistry(dataDir string) *Registry {
 	return &Registry{
 		dataDir:  dataDir,
+		breaker:  NewBreaker(0, 0, nil),
 		sketches: make(map[string]*Sketch),
 		byTenant: make(map[string]int),
 	}
 }
+
+// SetDiskHook installs the snapshot write fault-injection seam (chaos
+// tests); call before serving.
+func (r *Registry) SetDiskHook(h DiskHook) { r.hook = h }
+
+// SetBreaker replaces the snapshot circuit breaker (the server wires
+// configured thresholds and its clock here); call before serving.
+func (r *Registry) SetBreaker(b *Breaker) {
+	if b != nil {
+		r.breaker = b
+	}
+}
+
+// Breaker exposes the snapshot circuit breaker (healthz and metrics
+// report its state).
+func (r *Registry) Breaker() *Breaker { return r.breaker }
 
 func key(tenant, name string) string { return tenant + "/" + name }
 
@@ -310,10 +343,22 @@ func (r *Registry) All() []*Sketch {
 // persists blob + metadata sidecar atomically under the data directory.
 // Ingestion may continue concurrently: the snapshot covers at least the
 // writes completed when it was cut, and anything racing it re-dirties
-// the sketch.
+// the sketch. While the circuit breaker is open the write is refused
+// with ErrBreakerOpen — serve-only degraded mode.
 func (r *Registry) Snapshot(sk *Sketch) (SnapshotInfo, error) {
+	return r.snapshot(sk, false)
+}
+
+// snapshot is Snapshot with a force escape hatch: the shutdown path
+// bypasses the breaker's admission check (a last-chance write to a disk
+// that may have healed beats guaranteed data loss), though failures
+// still count against the breaker.
+func (r *Registry) snapshot(sk *Sketch, force bool) (SnapshotInfo, error) {
 	if r.dataDir == "" {
 		return SnapshotInfo{}, ErrNoDataDir
+	}
+	if !force && !r.breaker.Allow() {
+		return SnapshotInfo{}, ErrBreakerOpen
 	}
 	sk.snapMu.Lock()
 	defer sk.snapMu.Unlock()
@@ -321,22 +366,19 @@ func (r *Registry) Snapshot(sk *Sketch) (SnapshotInfo, error) {
 	items := sk.items.Load()
 	blob, err := sk.front.MarshalBinary()
 	if err != nil {
+		// Encoding failures are not disk failures; they do not move the
+		// breaker (and a forced path must not mask them either).
 		return SnapshotInfo{}, err
 	}
 	meta, err := json.Marshal(snapshotMeta{Tenant: sk.Tenant, Name: sk.Name, Items: items, Config: sk.Config})
 	if err != nil {
 		return SnapshotInfo{}, err
 	}
-	dir := filepath.Join(r.dataDir, sk.Tenant)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := r.persist(sk, blob, meta); err != nil {
+		r.breaker.Failure()
 		return SnapshotInfo{}, err
 	}
-	if err := writeAtomic(filepath.Join(dir, sk.Name+".snap"), blob); err != nil {
-		return SnapshotInfo{}, err
-	}
-	if err := writeAtomic(filepath.Join(dir, sk.Name+".json"), meta); err != nil {
-		return SnapshotInfo{}, err
-	}
+	r.breaker.Success()
 	sk.snapped, sk.snapVersion = true, version
 	return SnapshotInfo{
 		File:    filepath.Join(sk.Tenant, sk.Name+".snap"),
@@ -346,9 +388,29 @@ func (r *Registry) Snapshot(sk *Sketch) (SnapshotInfo, error) {
 	}, nil
 }
 
+// persist performs the disk phase of a snapshot: mkdir, then the two
+// atomic (temp + fsync + rename + dir-fsync) writes.
+func (r *Registry) persist(sk *Sketch, blob, meta []byte) error {
+	dir := filepath.Join(r.dataDir, sk.Tenant)
+	if r.hook != nil {
+		if err := r.hook(dir, "mkdir"); err != nil {
+			return err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := r.writeAtomic(filepath.Join(dir, sk.Name+".snap"), blob); err != nil {
+		return err
+	}
+	return r.writeAtomic(filepath.Join(dir, sk.Name+".json"), meta)
+}
+
 // SnapshotDirty persists every dirty sketch (the graceful-shutdown path)
 // and returns how many it wrote. It keeps going past per-sketch failures
-// and returns the first error.
+// and returns the first error. This path bypasses the circuit breaker's
+// admission check: shutdown is the last chance to persist, and a healed
+// disk should be used even if the breaker has not probed it yet.
 func (r *Registry) SnapshotDirty() (int, error) {
 	if r.dataDir == "" {
 		return 0, nil
@@ -359,7 +421,7 @@ func (r *Registry) SnapshotDirty() (int, error) {
 		if !sk.Dirty() {
 			continue
 		}
-		if _, err := r.Snapshot(sk); err != nil {
+		if _, err := r.snapshot(sk, true); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("state: snapshot %s/%s: %w", sk.Tenant, sk.Name, err)
 			}
@@ -377,6 +439,15 @@ func (r *Registry) SnapshotDirty() (int, error) {
 func (r *Registry) Load() (int, error) {
 	if r.dataDir == "" {
 		return 0, nil
+	}
+	// Stale temp files are the wreckage of writes torn by a crash or an
+	// injected disk failure; the atomic rename never exposed them to
+	// readers, so they are safe to discard — the last completed rename
+	// remains the snapshot of record.
+	if strays, err := filepath.Glob(filepath.Join(r.dataDir, "*", "*.tmp*")); err == nil {
+		for _, s := range strays {
+			os.Remove(s)
+		}
 	}
 	metas, err := filepath.Glob(filepath.Join(r.dataDir, "*", "*.json"))
 	if err != nil {
@@ -426,14 +497,43 @@ func (r *Registry) Load() (int, error) {
 	return loaded, nil
 }
 
-// writeAtomic writes data to path via a temp file + rename, so readers
-// (and a crash mid-write) never observe a partial file.
-func writeAtomic(path string, data []byte) error {
+// writeAtomic writes data to path via temp file + fsync + rename +
+// directory fsync, so readers (and a crash mid-write) never observe a
+// partial file AND a completed rename survives power loss, not just
+// process death — without the two syncs, the rename can hit disk before
+// the data, leaving a correctly-named file of garbage after a crash.
+// The hook phases ("create", "write", "rename") are the fault-injection
+// seam; an injected "write" failure leaves the partial temp file behind
+// exactly as a crash would.
+func (r *Registry) writeAtomic(path string, data []byte) error {
+	if r.hook != nil {
+		if err := r.hook(path, "create"); err != nil {
+			return err
+		}
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(data[:len(data)/2]); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if r.hook != nil {
+		// Fail between the two half-writes: the temp file is left
+		// partially written, like a torn crash write.
+		if err := r.hook(path, "write"); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if _, err := tmp.Write(data[len(data)/2:]); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -442,5 +542,25 @@ func writeAtomic(path string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if r.hook != nil {
+		if err := r.hook(path, "rename"); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
